@@ -1,0 +1,140 @@
+// Extension bench (beyond the paper): sensitivity of M2G4RTP to the
+// design choices DESIGN.md calls out — k-nearest connectivity, attention
+// heads, encoder depth, and the beam-search decoding extension. Runs at
+// reduced scale so the whole sweep finishes in a few minutes.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/stopwatch.h"
+#include "core/trainer.h"
+#include "metrics/report.h"
+
+namespace {
+
+using namespace m2g;
+using m2g::Stopwatch;
+
+struct SweepRow {
+  std::string label;
+  metrics::RouteTimeMetrics all;
+  double train_seconds = 0;
+};
+
+SweepRow RunConfig(const std::string& label, const core::ModelConfig& mc,
+              const synth::DatasetSplits& splits, int epochs) {
+  core::M2g4Rtp model(mc);
+  core::TrainConfig tc;
+  tc.epochs = epochs;
+  Stopwatch watch;
+  core::Trainer trainer(&model, tc);
+  trainer.Fit(splits.train, splits.val);
+  SweepRow row;
+  row.label = label;
+  row.train_seconds = watch.ElapsedSeconds();
+  metrics::BucketedEvaluator evaluator;
+  for (const synth::Sample& s : splits.test.samples) {
+    core::RtpPrediction pred = model.Predict(s);
+    evaluator.AddSample(pred.location_route, s.route_label,
+                        pred.location_times_min, s.time_label_min);
+  }
+  row.all = evaluator.Get(metrics::Bucket::kAll);
+  return row;
+}
+
+void PrintRows(const char* title, const std::vector<SweepRow>& rows) {
+  std::printf("\n%s\n", title);
+  std::printf("  %-26s %8s %8s %8s %8s %10s\n", "config", "HR@3", "KRC",
+              "MAE", "acc@20", "train (s)");
+  for (const SweepRow& r : rows) {
+    std::printf("  %-26s %8.2f %8.3f %8.2f %8.2f %10.1f\n",
+                r.label.c_str(), r.all.hr3, r.all.krc, r.all.mae,
+                r.all.acc20, r.train_seconds);
+  }
+}
+
+}  // namespace
+
+int main() {
+  // Reduced-scale world so the sweep stays fast.
+  synth::DataConfig dc = bench::StandardDataConfig();
+  dc.couriers.num_couriers = 14;
+  dc.num_days = 12;
+  synth::DatasetSplits splits = synth::BuildDataset(dc);
+  const int epochs =
+      bench::StandardScale().epochs >= 8 ? 8 : bench::StandardScale().epochs;
+  std::printf("=== Design-choice sensitivity (extension) ===\n");
+  std::printf("dataset: train %d / val %d / test %d, %d epochs each\n",
+              splits.train.size(), splits.val.size(), splits.test.size(),
+              epochs);
+
+  {
+    std::vector<SweepRow> rows;
+    for (int k : {2, 5, 9}) {
+      core::ModelConfig mc;
+      mc.graph.k_neighbors = k;
+      rows.push_back(RunConfig("k_neighbors=" + std::to_string(k), mc,
+                               splits, epochs));
+    }
+    PrintRows("(a) Eq. 15 connectivity: k-nearest neighbours", rows);
+  }
+  {
+    std::vector<SweepRow> rows;
+    for (int heads : {1, 2, 4, 8}) {
+      core::ModelConfig mc;
+      mc.num_heads = heads;
+      rows.push_back(RunConfig("heads=" + std::to_string(heads), mc,
+                               splits, epochs));
+    }
+    PrintRows("(b) GAT-e attention heads (P)", rows);
+  }
+  {
+    std::vector<SweepRow> rows;
+    for (int layers : {1, 2, 3}) {
+      core::ModelConfig mc;
+      mc.num_layers = layers;
+      rows.push_back(RunConfig("layers=" + std::to_string(layers), mc,
+                               splits, epochs));
+    }
+    PrintRows("(c) encoder depth (K)", rows);
+  }
+  {
+    // Beam width is inference-only: train once, decode three ways.
+    core::ModelConfig mc;
+    core::M2g4Rtp model(mc);
+    core::TrainConfig tc;
+    tc.epochs = epochs;
+    core::Trainer trainer(&model, tc);
+    trainer.Fit(splits.train, splits.val);
+    std::vector<SweepRow> rows;
+    for (int width : {1, 2, 4}) {
+      // Rebuild a same-weights view with a different decode width.
+      SweepRow row;
+      row.label = "beam_width=" + std::to_string(width);
+      core::ModelConfig mcw = mc;
+      mcw.beam_width = width;
+      core::M2g4Rtp decode_model(mcw);
+      // Copy trained weights.
+      auto src = model.Parameters();
+      auto dst = decode_model.Parameters();
+      for (size_t i = 0; i < src.size(); ++i) {
+        dst[i].node()->value = src[i].value();
+      }
+      metrics::BucketedEvaluator evaluator;
+      Stopwatch watch;
+      for (const synth::Sample& s : splits.test.samples) {
+        core::RtpPrediction pred = decode_model.Predict(s);
+        evaluator.AddSample(pred.location_route, s.route_label,
+                            pred.location_times_min, s.time_label_min);
+      }
+      row.train_seconds = watch.ElapsedSeconds();  // decode time here
+      row.all = evaluator.Get(metrics::Bucket::kAll);
+      rows.push_back(row);
+    }
+    PrintRows("(d) beam-search decoding (extension; last column = decode s)",
+              rows);
+  }
+  return 0;
+}

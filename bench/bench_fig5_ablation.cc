@@ -1,0 +1,33 @@
+// Reproduces Figure 5 (component analysis): the full model vs the
+// two-step, w/o AOI, w/o graph and w/o uncertainty variants.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "eval/ablation.h"
+
+int main() {
+  using namespace m2g;
+  synth::DatasetSplits splits =
+      synth::BuildDataset(bench::StandardDataConfig());
+  std::printf("dataset: train %d / val %d / test %d samples\n",
+              splits.train.size(), splits.val.size(), splits.test.size());
+
+  eval::ComparisonResult result = eval::RunAblation(
+      splits, bench::StandardScale(), bench::AblationCachePath());
+  eval::PrintAblationFigure(result);
+
+  const eval::MethodResult* full = result.Find("M2G4RTP");
+  std::printf("\nExpected shape (paper): every ablated variant is worse "
+              "than the full model;\n'w/o AOI' hurts route most, "
+              "'two-step' hurts time most.\n");
+  if (full != nullptr) {
+    for (const eval::MethodResult& m : result.methods) {
+      if (m.method == "M2G4RTP") continue;
+      std::printf("  %-26s dKRC %+.3f  dMAE %+.2f\n", m.method.c_str(),
+                  m.buckets[2].krc - full->buckets[2].krc,
+                  m.buckets[2].mae - full->buckets[2].mae);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Reproduces Table III (route prediction: HR@3 / KRC / LSD for all eight
+// methods over the short/long/all buckets). Trains every method once and
+// caches the results so bench_table4_time reuses the same run.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "eval/comparison.h"
+
+int main() {
+  using namespace m2g;
+  synth::DatasetSplits splits =
+      synth::BuildDataset(bench::StandardDataConfig());
+  std::printf("dataset: train %d / val %d / test %d samples\n",
+              splits.train.size(), splits.val.size(), splits.test.size());
+
+  eval::ComparisonResult result = eval::RunOrLoadComparison(
+      splits, eval::AllMethodNames(), bench::StandardScale(),
+      bench::ComparisonCachePath());
+  eval::PrintRouteTable(result);
+
+  const eval::MethodResult* ours = result.Find("M2G4RTP");
+  const eval::MethodResult* g2r = result.Find("Graph2Route");
+  if (ours != nullptr && g2r != nullptr) {
+    std::printf(
+        "\nM2G4RTP vs best graph baseline (all): KRC %+.3f, LSD %+.2f\n",
+        ours->buckets[2].krc - g2r->buckets[2].krc,
+        ours->buckets[2].lsd - g2r->buckets[2].lsd);
+  }
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Reproduces Table IV (time prediction: RMSE / MAE / acc@20). Shares the
+// training run with bench_table3_route through the comparison cache.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "eval/comparison.h"
+
+int main() {
+  using namespace m2g;
+  synth::DatasetSplits splits =
+      synth::BuildDataset(bench::StandardDataConfig());
+  eval::ComparisonResult result = eval::RunOrLoadComparison(
+      splits, eval::AllMethodNames(), bench::StandardScale(),
+      bench::ComparisonCachePath());
+  eval::PrintTimeTable(result);
+
+  const eval::MethodResult* ours = result.Find("M2G4RTP");
+  const eval::MethodResult* fdnet = result.Find("FDNET");
+  if (ours != nullptr && fdnet != nullptr) {
+    std::printf(
+        "\nJoint vs two-step route&time (all bucket): M2G4RTP MAE %.2f "
+        "vs FDNET MAE %.2f\n",
+        ours->buckets[2].mae, fdnet->buckets[2].mae);
+  }
+  return 0;
+}

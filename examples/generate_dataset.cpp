@@ -1,0 +1,52 @@
+// Dataset tooling: simulate a city, persist the splits to a binary file,
+// export a CSV for external analysis, and reload everything.
+//
+//   ./build/examples/generate_dataset [out_dir]
+
+#include <cstdio>
+#include <string>
+
+#include "synth/dataset_io.h"
+
+int main(int argc, char** argv) {
+  using namespace m2g;
+  const std::string dir = argc > 1 ? argv[1] : ".";
+
+  synth::DataConfig config;
+  config.seed = 20230707;
+  std::printf("simulating %d couriers x %d days ...\n",
+              config.couriers.num_couriers, config.num_days);
+  synth::DatasetSplits splits = synth::BuildDataset(config);
+  std::printf("samples: train %d / val %d / test %d\n", splits.train.size(),
+              splits.val.size(), splits.test.size());
+
+  const std::string splits_path = dir + "/m2g_splits.bin";
+  Status s = synth::SaveSplits(splits, splits_path);
+  if (!s.ok()) {
+    std::printf("save failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("splits written to %s\n", splits_path.c_str());
+
+  const std::string csv_path = dir + "/m2g_test_locations.csv";
+  s = synth::ExportLocationsCsv(splits.test, csv_path);
+  if (!s.ok()) {
+    std::printf("csv export failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("test-split locations exported to %s\n", csv_path.c_str());
+
+  auto reloaded = synth::LoadSplits(splits_path);
+  if (!reloaded.ok()) {
+    std::printf("reload failed: %s\n", reloaded.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("reload OK: %d train samples round-tripped, first route "
+              "label intact: %s\n",
+              reloaded.value().train.size(),
+              reloaded.value().train.samples.front().route_label ==
+                      splits.train.samples.front().route_label
+                  ? "yes"
+                  : "NO");
+  return 0;
+}

@@ -1,0 +1,95 @@
+#include "baselines/deep_common.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+#include "nn/optimizer.h"
+#include "tensor/ops.h"
+
+namespace m2g::baselines {
+
+core::ModelConfig DeepBaselineConfig::ToModelConfig() const {
+  core::ModelConfig mc;
+  mc.seed = seed;
+  mc.hidden_dim = hidden_dim;
+  mc.num_heads = num_heads;
+  mc.num_layers = num_layers;
+  mc.lstm_hidden_dim = lstm_hidden_dim;
+  mc.courier_dim = courier_dim;
+  // Scale the discrete embedding widths with the hidden size so the
+  // continuous features always keep at least half the embedding.
+  mc.aoi_id_embed_dim = std::min(12, hidden_dim / 4);
+  mc.aoi_type_embed_dim = std::min(4, hidden_dim / 8);
+  mc.courier_id_embed_dim = std::min(12, std::max(2, courier_dim / 2));
+  M2G_CHECK_MSG(core::ValidateConfig(mc).ok(),
+                "DeepBaselineConfig maps to an invalid ModelConfig");
+  return mc;
+}
+
+void TrainRouteLoop(
+    nn::Module* module,
+    const std::function<Tensor(const synth::Sample&)>& loss_fn,
+    const synth::Dataset& train, const synth::Dataset& val,
+    const DeepBaselineConfig& config) {
+  M2G_CHECK(!train.samples.empty());
+  nn::Adam opt(module->Parameters(), config.learning_rate);
+  Rng rng(config.seed ^ 0x55aa);
+
+  auto evaluate = [&](const synth::Dataset& ds) {
+    if (ds.samples.empty()) return 0.0f;
+    double total = 0;
+    for (const synth::Sample& s : ds.samples) total += loss_fn(s).item();
+    return static_cast<float>(total / ds.samples.size());
+  };
+
+  std::vector<int> order(train.samples.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+
+  float best_val = std::numeric_limits<float>::infinity();
+  std::vector<Matrix> best_params;
+  int stale = 0;
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    int limit = static_cast<int>(order.size());
+    if (config.max_samples_per_epoch > 0) {
+      limit = std::min(limit, config.max_samples_per_epoch);
+    }
+    opt.ZeroGrad();
+    int in_batch = 0;
+    double train_total = 0;
+    for (int idx = 0; idx < limit; ++idx) {
+      Tensor loss = loss_fn(train.samples[order[idx]]);
+      train_total += loss.item();
+      Scale(loss, 1.0f / config.batch_size).Backward();
+      if (++in_batch == config.batch_size || idx + 1 == limit) {
+        opt.ClipGradNorm(config.grad_clip_norm);
+        opt.Step();
+        opt.ZeroGrad();
+        in_batch = 0;
+      }
+    }
+    const float val_loss = val.samples.empty()
+                               ? static_cast<float>(train_total / limit)
+                               : evaluate(val);
+    if (val_loss < best_val) {
+      best_val = val_loss;
+      stale = 0;
+      best_params.clear();
+      for (const Tensor& p : module->Parameters()) {
+        best_params.push_back(p.value());
+      }
+    } else if (config.early_stop_patience > 0 &&
+               ++stale >= config.early_stop_patience) {
+      break;
+    }
+  }
+  if (!best_params.empty()) {
+    auto params = module->Parameters();
+    for (size_t i = 0; i < params.size(); ++i) {
+      params[i].node()->value = best_params[i];
+    }
+  }
+}
+
+}  // namespace m2g::baselines

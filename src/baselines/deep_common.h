@@ -1,0 +1,46 @@
+#ifndef M2G_BASELINES_DEEP_COMMON_H_
+#define M2G_BASELINES_DEEP_COMMON_H_
+
+#include <functional>
+
+#include "baselines/time_mlp.h"
+#include "core/config.h"
+#include "nn/module.h"
+
+namespace m2g::baselines {
+
+/// Hyper-parameters shared by the deep route-only baselines (DeepRoute,
+/// FDNET, Graph2Route). Sized to match the M2G4RTP defaults so the
+/// comparison isolates architecture, not capacity.
+struct DeepBaselineConfig {
+  int hidden_dim = 48;
+  int lstm_hidden_dim = 48;
+  int courier_dim = 24;
+  int num_layers = 2;
+  int num_heads = 4;
+  int epochs = 8;
+  float learning_rate = 2e-3f;
+  int batch_size = 8;
+  float grad_clip_norm = 5.0f;
+  int early_stop_patience = 3;
+  int max_samples_per_epoch = 0;
+  uint64_t seed = 7;
+  PluggedTimeMlp::Config time_head;
+
+  /// Projection to the core ModelConfig consumed by the reused embedding
+  /// layers.
+  core::ModelConfig ToModelConfig() const;
+};
+
+/// Generic per-sample training loop with gradient accumulation, clipping
+/// and best-on-validation parameter snapshotting. `loss_fn` rebuilds the
+/// scalar loss for one sample (define-by-run).
+void TrainRouteLoop(
+    nn::Module* module,
+    const std::function<Tensor(const synth::Sample&)>& loss_fn,
+    const synth::Dataset& train, const synth::Dataset& val,
+    const DeepBaselineConfig& config);
+
+}  // namespace m2g::baselines
+
+#endif  // M2G_BASELINES_DEEP_COMMON_H_

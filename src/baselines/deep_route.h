@@ -1,0 +1,52 @@
+#ifndef M2G_BASELINES_DEEP_ROUTE_H_
+#define M2G_BASELINES_DEEP_ROUTE_H_
+
+#include <memory>
+#include <vector>
+
+#include "baselines/deep_common.h"
+#include "core/feature_embed.h"
+#include "core/model.h"
+#include "core/route_decoder.h"
+
+namespace m2g::baselines {
+
+/// DeepRoute (§V-B / [3]): a Transformer-style self-attention encoder over
+/// the unvisited locations plus an attention-based pointer decoder. Route
+/// only; the paper (and we) bolt a separately-trained PluggedTimeMlp on
+/// top for Table IV.
+class DeepRoute : public nn::Module {
+ public:
+  explicit DeepRoute(const DeepBaselineConfig& config);
+
+  void Fit(const synth::Dataset& train, const synth::Dataset& val);
+
+  core::RtpPrediction Predict(const synth::Sample& sample) const;
+
+  std::vector<int> PredictRoute(const synth::Sample& sample) const;
+
+  /// Exposed for the scalability bench (route-only inference).
+  Tensor EncodeSample(const synth::Sample& sample) const;
+
+ private:
+  struct SelfAttentionLayer {
+    Tensor wq, wk, wv;   // per layer, multi-head packed (d, d)
+    Tensor wo;           // output projection (d, d)
+    Tensor ff1, ff1_b;   // feed-forward (d, 2d)
+    Tensor ff2, ff2_b;   // (2d, d)
+  };
+
+  Tensor RunLayer(const SelfAttentionLayer& layer, const Tensor& h) const;
+
+  DeepBaselineConfig config_;
+  std::unique_ptr<core::LevelFeatureEmbed> feature_embed_;
+  std::unique_ptr<core::GlobalFeatureEmbed> global_embed_;
+  std::unique_ptr<nn::Linear> input_proj_;
+  std::vector<SelfAttentionLayer> layers_;
+  std::unique_ptr<core::AttentionRouteDecoder> decoder_;
+  std::unique_ptr<PluggedTimeMlp> time_head_;
+};
+
+}  // namespace m2g::baselines
+
+#endif  // M2G_BASELINES_DEEP_ROUTE_H_

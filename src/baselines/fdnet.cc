@@ -1,0 +1,132 @@
+#include "baselines/fdnet.h"
+
+#include <algorithm>
+
+#include "graph/features.h"
+#include "nn/optimizer.h"
+
+namespace m2g::baselines {
+
+Fdnet::WideDeepTimeHead::WideDeepTimeHead(
+    const PluggedTimeMlp::Config& config, Rng* rng)
+    : config_(config) {
+  wide_ = std::make_unique<nn::Linear>(kTimeFeatureDim, 1, rng);
+  deep_ = std::make_unique<nn::Mlp>(
+      std::vector<int>{kTimeFeatureDim, config.hidden_dim,
+                       config.hidden_dim, 1},
+      rng);
+  AddChild("wide", wide_.get());
+  AddChild("deep", deep_.get());
+}
+
+void Fdnet::WideDeepTimeHead::Fit(
+    const synth::Dataset& train,
+    const std::function<std::vector<int>(const synth::Sample&)>& route_fn) {
+  std::vector<Matrix> features;
+  features.reserve(train.samples.size());
+  for (const synth::Sample& s : train.samples) {
+    features.push_back(TimeFeatures(s, route_fn(s)));
+  }
+  nn::Adam opt(Parameters(), config_.learning_rate);
+  Rng rng(config_.seed ^ 0x77);
+  std::vector<int> order(train.samples.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    for (int idx : order) {
+      const synth::Sample& s = train.samples[idx];
+      opt.ZeroGrad();
+      Tensor x = Tensor::Constant(features[idx]);
+      Tensor pred = Add(wide_->Forward(x), deep_->Forward(x));
+      Tensor loss = Tensor::Scalar(0);
+      for (int i = 0; i < s.num_locations(); ++i) {
+        loss = Add(loss,
+                   L1Loss(Row(pred, i),
+                          static_cast<float>(s.time_label_min[i]) /
+                              config_.time_scale_minutes));
+      }
+      Scale(loss, 1.0f / s.num_locations()).Backward();
+      opt.ClipGradNorm(5.0f);
+      opt.Step();
+    }
+  }
+}
+
+std::vector<double> Fdnet::WideDeepTimeHead::PredictTimes(
+    const synth::Sample& sample, const std::vector<int>& route) const {
+  Tensor x = Tensor::Constant(TimeFeatures(sample, route));
+  Tensor pred = Add(wide_->Forward(x), deep_->Forward(x));
+  std::vector<double> out(route.size());
+  for (size_t i = 0; i < route.size(); ++i) {
+    out[i] = std::max(
+        0.0, static_cast<double>(pred.value().At(static_cast<int>(i), 0)) *
+                 config_.time_scale_minutes);
+  }
+  return out;
+}
+
+Fdnet::Fdnet(const DeepBaselineConfig& config) : config_(config) {
+  core::ModelConfig mc = config.ToModelConfig();
+  Rng rng(config.seed);
+  feature_embed_ = std::make_unique<core::LevelFeatureEmbed>(
+      mc, graph::kLocationContinuousDim, &rng);
+  AddChild("feature_embed", feature_embed_.get());
+  global_embed_ = std::make_unique<core::GlobalFeatureEmbed>(mc, &rng);
+  AddChild("global_embed", global_embed_.get());
+  encoder_lstm_ = std::make_unique<nn::LstmCell>(
+      config.hidden_dim + config.courier_dim, config.hidden_dim, &rng);
+  AddChild("encoder_lstm", encoder_lstm_.get());
+  encoder_proj_ = std::make_unique<nn::Linear>(config.hidden_dim,
+                                               config.hidden_dim, &rng);
+  AddChild("encoder_proj", encoder_proj_.get());
+  decoder_ = std::make_unique<core::AttentionRouteDecoder>(
+      config.hidden_dim, config.courier_dim, config.lstm_hidden_dim, &rng);
+  AddChild("decoder", decoder_.get());
+  time_head_ =
+      std::make_unique<WideDeepTimeHead>(config.time_head, &rng);
+}
+
+Tensor Fdnet::EncodeSample(const synth::Sample& sample) const {
+  graph::LevelGraph level = graph::BuildLocationGraph(sample, {});
+  Tensor nodes = feature_embed_->EmbedNodes(level);
+  Tensor u = global_embed_->Embed(sample);
+  Tensor x = ConcatCols(nodes, BroadcastRows(u, level.n));
+  // Unidirectional RNN over the (arbitrary) input order — FDNET's
+  // sequence-encoder limitation, kept faithfully.
+  nn::LstmState state = encoder_lstm_->InitialState();
+  std::vector<Tensor> rows;
+  rows.reserve(level.n);
+  for (int i = 0; i < level.n; ++i) {
+    state = encoder_lstm_->Forward(Row(x, i), state);
+    rows.push_back(state.h);
+  }
+  return encoder_proj_->Forward(ConcatRows(rows));
+}
+
+void Fdnet::Fit(const synth::Dataset& train, const synth::Dataset& val) {
+  auto loss_fn = [this](const synth::Sample& s) {
+    Tensor h = EncodeSample(s);
+    Tensor u = global_embed_->Embed(s);
+    return decoder_->TeacherForcedLoss(h, u, s.route_label);
+  };
+  TrainRouteLoop(this, loss_fn, train, val, config_);
+  time_head_->Fit(train, [this](const synth::Sample& s) {
+    return PredictRoute(s);
+  });
+}
+
+std::vector<int> Fdnet::PredictRoute(const synth::Sample& sample) const {
+  Tensor h = EncodeSample(sample);
+  Tensor u = global_embed_->Embed(sample);
+  return decoder_->DecodeGreedy(h, u);
+}
+
+core::RtpPrediction Fdnet::Predict(const synth::Sample& sample) const {
+  core::RtpPrediction pred;
+  pred.location_route = PredictRoute(sample);
+  pred.location_times_min =
+      time_head_->PredictTimes(sample, pred.location_route);
+  return pred;
+}
+
+}  // namespace m2g::baselines

@@ -1,0 +1,61 @@
+#ifndef M2G_BASELINES_FDNET_H_
+#define M2G_BASELINES_FDNET_H_
+
+#include <memory>
+
+#include "baselines/deep_common.h"
+#include "core/feature_embed.h"
+#include "core/model.h"
+#include "core/route_decoder.h"
+#include "nn/lstm_cell.h"
+
+namespace m2g::baselines {
+
+/// FDNET (§V-B / [1]): the only prior route&time model. An LSTM-based RNN
+/// encoder over the unvisited locations feeds an attention route decoder;
+/// a Wide&Deep network, trained in a *second stage* on the frozen route
+/// model's outputs, predicts arrival times. The sequential encoder (which
+/// must impose an arbitrary order on an unordered set) and the two-stage
+/// training are exactly the weaknesses the paper's Table III/IV expose.
+class Fdnet : public nn::Module {
+ public:
+  explicit Fdnet(const DeepBaselineConfig& config);
+
+  void Fit(const synth::Dataset& train, const synth::Dataset& val);
+
+  core::RtpPrediction Predict(const synth::Sample& sample) const;
+
+  std::vector<int> PredictRoute(const synth::Sample& sample) const;
+
+  Tensor EncodeSample(const synth::Sample& sample) const;
+
+ private:
+  /// Wide&Deep time head: wide linear part + deep MLP part over the
+  /// route-derived features, summed.
+  class WideDeepTimeHead : public nn::Module {
+   public:
+    WideDeepTimeHead(const PluggedTimeMlp::Config& config, Rng* rng);
+    void Fit(const synth::Dataset& train,
+             const std::function<std::vector<int>(const synth::Sample&)>&
+                 route_fn);
+    std::vector<double> PredictTimes(const synth::Sample& sample,
+                                     const std::vector<int>& route) const;
+
+   private:
+    PluggedTimeMlp::Config config_;
+    std::unique_ptr<nn::Linear> wide_;
+    std::unique_ptr<nn::Mlp> deep_;
+  };
+
+  DeepBaselineConfig config_;
+  std::unique_ptr<core::LevelFeatureEmbed> feature_embed_;
+  std::unique_ptr<core::GlobalFeatureEmbed> global_embed_;
+  std::unique_ptr<nn::LstmCell> encoder_lstm_;
+  std::unique_ptr<nn::Linear> encoder_proj_;
+  std::unique_ptr<core::AttentionRouteDecoder> decoder_;
+  std::unique_ptr<WideDeepTimeHead> time_head_;
+};
+
+}  // namespace m2g::baselines
+
+#endif  // M2G_BASELINES_FDNET_H_

@@ -1,0 +1,49 @@
+#ifndef M2G_BASELINES_GRAPH2ROUTE_H_
+#define M2G_BASELINES_GRAPH2ROUTE_H_
+
+#include <memory>
+#include <vector>
+
+#include "baselines/deep_common.h"
+#include "core/feature_embed.h"
+#include "core/model.h"
+#include "core/route_decoder.h"
+
+namespace m2g::baselines {
+
+/// Graph2Route (§V-B / [10]): the strongest prior route model — a GCN
+/// encoder over the single-level location graph plus an attention pointer
+/// decoder. It has the graph inductive bias but no AOI level and no joint
+/// time task; Table IV uses the plugged time head like the other
+/// route-only baselines.
+class Graph2Route : public nn::Module {
+ public:
+  explicit Graph2Route(const DeepBaselineConfig& config);
+
+  void Fit(const synth::Dataset& train, const synth::Dataset& val);
+
+  core::RtpPrediction Predict(const synth::Sample& sample) const;
+
+  std::vector<int> PredictRoute(const synth::Sample& sample) const;
+
+  Tensor EncodeSample(const synth::Sample& sample) const;
+
+ private:
+  DeepBaselineConfig config_;
+  std::unique_ptr<core::LevelFeatureEmbed> feature_embed_;
+  std::unique_ptr<core::GlobalFeatureEmbed> global_embed_;
+  std::unique_ptr<nn::Linear> input_proj_;
+  std::vector<Tensor> gcn_weights_;       // per layer (d, d), neighbours
+  std::vector<Tensor> gcn_self_weights_;  // per layer (d, d), self path
+  std::vector<Tensor> gcn_biases_;        // per layer (1, d)
+  std::unique_ptr<core::AttentionRouteDecoder> decoder_;
+  std::unique_ptr<PluggedTimeMlp> time_head_;
+};
+
+/// Symmetrically normalized dense adjacency D^{-1/2} (A) D^{-1/2} built
+/// from the Eq. 15 connectivity (self-loops included). Exposed for tests.
+Matrix NormalizedAdjacency(const std::vector<bool>& adjacency, int n);
+
+}  // namespace m2g::baselines
+
+#endif  // M2G_BASELINES_GRAPH2ROUTE_H_

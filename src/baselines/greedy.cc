@@ -1,0 +1,69 @@
+#include "baselines/greedy.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace m2g::baselines {
+
+std::vector<double> FixedSpeedTimes(const synth::Sample& sample,
+                                    const std::vector<int>& route,
+                                    const HeuristicConfig& config) {
+  std::vector<double> times(route.size(), 0.0);
+  geo::LatLng pos = sample.courier_pos;
+  double now = 0.0;
+  for (int node : route) {
+    const double meters =
+        geo::ApproxMeters(pos, sample.locations[node].pos) *
+        config.detour_factor;
+    now += meters / config.fixed_speed_mps / 60.0;
+    times[node] = now;
+    now += config.service_minutes_per_stop;
+    pos = sample.locations[node].pos;
+  }
+  return times;
+}
+
+core::RtpPrediction TimeGreedyPredict(const synth::Sample& sample,
+                                      const HeuristicConfig& config) {
+  const int n = sample.num_locations();
+  std::vector<int> route(n);
+  std::iota(route.begin(), route.end(), 0);
+  std::stable_sort(route.begin(), route.end(), [&](int a, int b) {
+    return sample.locations[a].deadline_min <
+           sample.locations[b].deadline_min;
+  });
+  core::RtpPrediction pred;
+  pred.location_route = route;
+  pred.location_times_min = FixedSpeedTimes(sample, route, config);
+  return pred;
+}
+
+core::RtpPrediction DistanceGreedyPredict(const synth::Sample& sample,
+                                          const HeuristicConfig& config) {
+  const int n = sample.num_locations();
+  std::vector<bool> visited(n, false);
+  std::vector<int> route;
+  route.reserve(n);
+  geo::LatLng pos = sample.courier_pos;
+  for (int step = 0; step < n; ++step) {
+    int best = -1;
+    double best_dist = 0;
+    for (int i = 0; i < n; ++i) {
+      if (visited[i]) continue;
+      const double d = geo::ApproxMeters(pos, sample.locations[i].pos);
+      if (best < 0 || d < best_dist) {
+        best = i;
+        best_dist = d;
+      }
+    }
+    visited[best] = true;
+    route.push_back(best);
+    pos = sample.locations[best].pos;
+  }
+  core::RtpPrediction pred;
+  pred.location_route = route;
+  pred.location_times_min = FixedSpeedTimes(sample, route, config);
+  return pred;
+}
+
+}  // namespace m2g::baselines

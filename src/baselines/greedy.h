@@ -1,0 +1,40 @@
+#ifndef M2G_BASELINES_GREEDY_H_
+#define M2G_BASELINES_GREEDY_H_
+
+#include "core/model.h"
+#include "synth/dataset.h"
+
+namespace m2g::baselines {
+
+/// Shared physical assumptions of the non-learned baselines (§V-B: "we
+/// then set a fixed speed for the courier; the time prediction is
+/// calculated by dividing the distance between locations by the fixed
+/// speed").
+struct HeuristicConfig {
+  double fixed_speed_mps = 4.0;
+  /// Straight-line to street-network detour factor.
+  double detour_factor = 1.3;
+  /// Minutes spent at each stop (0 reproduces the paper's pure
+  /// distance/speed rule; a small constant is strictly better for every
+  /// heuristic, so we keep it configurable and default to the pure rule).
+  double service_minutes_per_stop = 0.0;
+};
+
+/// Time-Greedy: visits locations by ascending remaining time until the
+/// deadline; arrival times from the fixed-speed model along that route.
+core::RtpPrediction TimeGreedyPredict(const synth::Sample& sample,
+                                      const HeuristicConfig& config);
+
+/// Distance-Greedy: repeatedly visits the nearest unvisited location.
+core::RtpPrediction DistanceGreedyPredict(const synth::Sample& sample,
+                                          const HeuristicConfig& config);
+
+/// Fixed-speed arrival gaps (minutes) along `route`, shared by all
+/// heuristic baselines.
+std::vector<double> FixedSpeedTimes(const synth::Sample& sample,
+                                    const std::vector<int>& route,
+                                    const HeuristicConfig& config);
+
+}  // namespace m2g::baselines
+
+#endif  // M2G_BASELINES_GREEDY_H_

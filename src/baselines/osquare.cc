@@ -1,0 +1,113 @@
+#include "baselines/osquare.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace m2g::baselines {
+
+void OSquare::Fit(const synth::Dataset& train) {
+  M2G_CHECK(!train.samples.empty());
+
+  // --- Route model: pointwise next-location classification. For every
+  // teacher-forced decode step, the true next location is a positive
+  // example and every other unvisited location a negative one.
+  std::vector<std::vector<float>> rows;
+  std::vector<float> labels;
+  for (const synth::Sample& s : train.samples) {
+    geo::LatLng pos = s.courier_pos;
+    int current_aoi = -1;
+    std::vector<bool> visited(s.num_locations(), false);
+    for (int step = 0; step < s.num_locations(); ++step) {
+      const int truth = s.route_label[step];
+      const int unvisited = s.num_locations() - step;
+      for (int cand = 0; cand < s.num_locations(); ++cand) {
+        if (visited[cand]) continue;
+        rows.push_back(CandidateFeatures(s, pos, current_aoi, step,
+                                         unvisited, cand));
+        labels.push_back(cand == truth ? 1.0f : 0.0f);
+      }
+      visited[truth] = true;
+      pos = s.locations[truth].pos;
+      current_aoi = s.locations[truth].aoi_id;
+    }
+  }
+  Matrix x(static_cast<int>(rows.size()), kCandidateFeatureDim);
+  for (size_t r = 0; r < rows.size(); ++r) {
+    for (int c = 0; c < kCandidateFeatureDim; ++c) {
+      x.At(static_cast<int>(r), c) = rows[r][c];
+    }
+  }
+  route_model_ =
+      std::make_unique<gbdt::GbdtBinaryClassifier>(config_.route_booster);
+  route_model_->Fit(x, labels);
+
+  // --- Time model: regress arrival gaps on features of the *predicted*
+  // route (two-step, like the paper's plugged heads).
+  std::vector<Matrix> feature_rows;
+  std::vector<float> time_targets;
+  for (const synth::Sample& s : train.samples) {
+    Matrix f = TimeFeatures(s, PredictRoute(s));
+    for (int i = 0; i < s.num_locations(); ++i) {
+      Matrix row(1, kTimeFeatureDim);
+      for (int c = 0; c < kTimeFeatureDim; ++c) row.At(0, c) = f.At(i, c);
+      feature_rows.push_back(std::move(row));
+      time_targets.push_back(static_cast<float>(s.time_label_min[i]) /
+                             config_.time_scale_minutes);
+    }
+  }
+  Matrix tx(static_cast<int>(feature_rows.size()), kTimeFeatureDim);
+  for (size_t r = 0; r < feature_rows.size(); ++r) {
+    for (int c = 0; c < kTimeFeatureDim; ++c) {
+      tx.At(static_cast<int>(r), c) = feature_rows[r].At(0, c);
+    }
+  }
+  time_model_ = std::make_unique<gbdt::GbdtRegressor>(config_.time_booster);
+  time_model_->Fit(tx, time_targets);
+}
+
+std::vector<int> OSquare::PredictRoute(const synth::Sample& sample) const {
+  M2G_CHECK(route_model_ != nullptr);
+  const int n = sample.num_locations();
+  std::vector<bool> visited(n, false);
+  std::vector<int> route;
+  route.reserve(n);
+  geo::LatLng pos = sample.courier_pos;
+  int current_aoi = -1;
+  for (int step = 0; step < n; ++step) {
+    int best = -1;
+    float best_score = 0;
+    for (int cand = 0; cand < n; ++cand) {
+      if (visited[cand]) continue;
+      auto f = CandidateFeatures(sample, pos, current_aoi, step, n - step,
+                                 cand);
+      const float score = route_model_->PredictScore(f.data());
+      if (best < 0 || score > best_score) {
+        best = cand;
+        best_score = score;
+      }
+    }
+    visited[best] = true;
+    route.push_back(best);
+    pos = sample.locations[best].pos;
+    current_aoi = sample.locations[best].aoi_id;
+  }
+  return route;
+}
+
+core::RtpPrediction OSquare::Predict(const synth::Sample& sample) const {
+  M2G_CHECK(time_model_ != nullptr);
+  core::RtpPrediction pred;
+  pred.location_route = PredictRoute(sample);
+  Matrix f = TimeFeatures(sample, pred.location_route);
+  pred.location_times_min.resize(sample.num_locations());
+  for (int i = 0; i < sample.num_locations(); ++i) {
+    pred.location_times_min[i] = std::max(
+        0.0, static_cast<double>(time_model_->Predict(
+                 f.data() + static_cast<size_t>(i) * kTimeFeatureDim)) *
+                 config_.time_scale_minutes);
+  }
+  return pred;
+}
+
+}  // namespace m2g::baselines

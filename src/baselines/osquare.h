@@ -1,0 +1,45 @@
+#ifndef M2G_BASELINES_OSQUARE_H_
+#define M2G_BASELINES_OSQUARE_H_
+
+#include <memory>
+
+#include "baselines/gbdt/booster.h"
+#include "baselines/seq_features.h"
+#include "core/model.h"
+
+namespace m2g::baselines {
+
+/// OSquare (§V-B / [4]): an XGBoost-style model that outputs the next
+/// location one step at a time; the whole route is generated recurrently.
+/// A second booster, trained separately, predicts the arrival time of
+/// each location from route-derived features.
+class OSquare {
+ public:
+  struct Config {
+    gbdt::BoosterConfig route_booster;
+    gbdt::BoosterConfig time_booster;
+    float time_scale_minutes = 60.0f;
+    uint64_t seed = 2024;
+  };
+
+  explicit OSquare(const Config& config) : config_(config) {}
+  OSquare() : OSquare(Config{}) {}
+
+  /// Trains the next-location classifier on teacher-forced decode steps,
+  /// then the time regressor on the (frozen) route model's predictions.
+  void Fit(const synth::Dataset& train);
+
+  core::RtpPrediction Predict(const synth::Sample& sample) const;
+
+  /// Route-only prediction (used while training the time head).
+  std::vector<int> PredictRoute(const synth::Sample& sample) const;
+
+ private:
+  Config config_;
+  std::unique_ptr<gbdt::GbdtBinaryClassifier> route_model_;
+  std::unique_ptr<gbdt::GbdtRegressor> time_model_;
+};
+
+}  // namespace m2g::baselines
+
+#endif  // M2G_BASELINES_OSQUARE_H_

@@ -1,0 +1,68 @@
+#include "baselines/seq_features.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace m2g::baselines {
+
+std::vector<float> CandidateFeatures(const synth::Sample& sample,
+                                     const geo::LatLng& current_pos,
+                                     int current_aoi, int step,
+                                     int num_unvisited, int candidate) {
+  const synth::LocationTask& task = sample.locations[candidate];
+  const int n = sample.num_locations();
+  std::vector<float> f(kCandidateFeatureDim);
+  f[0] = static_cast<float>(
+      geo::ApproxMeters(current_pos, task.pos) / 1000.0);
+  f[1] = static_cast<float>(
+      (task.deadline_min - sample.query_time_min) / 60.0);
+  f[2] = static_cast<float>(
+      (sample.query_time_min - task.accept_time_min) / 60.0);
+  f[3] = (current_aoi >= 0 && task.aoi_id == current_aoi) ? 1.0f : 0.0f;
+  f[4] = static_cast<float>(step) / 20.0f;
+  f[5] = static_cast<float>(num_unvisited) / 20.0f;
+  f[6] = static_cast<float>(n) / 20.0f;
+  f[7] = static_cast<float>(sample.courier.avg_speed_mps / 10.0);
+  f[8] = static_cast<float>(task.dist_from_courier_m / 1000.0);
+  return f;
+}
+
+Matrix TimeFeatures(const synth::Sample& sample,
+                    const std::vector<int>& route) {
+  const int n = sample.num_locations();
+  M2G_CHECK_EQ(static_cast<int>(route.size()), n);
+  Matrix out(n, kTimeFeatureDim);
+  geo::LatLng pos = sample.courier_pos;
+  double cumulative_km = 0;
+  for (int s = 0; s < n; ++s) {
+    const int node = route[s];
+    const synth::LocationTask& task = sample.locations[node];
+    cumulative_km += geo::ApproxMeters(pos, task.pos) / 1000.0;
+    pos = task.pos;
+    out.At(node, 0) = static_cast<float>(s + 1) / 20.0f;
+    out.At(node, 1) = static_cast<float>(cumulative_km);
+    out.At(node, 2) = static_cast<float>(task.dist_from_courier_m / 1000.0);
+    out.At(node, 3) = static_cast<float>(
+        (task.deadline_min - sample.query_time_min) / 60.0);
+    out.At(node, 4) = static_cast<float>(n) / 20.0f;
+    out.At(node, 5) =
+        static_cast<float>(sample.courier.avg_speed_mps / 10.0);
+    out.At(node, 6) =
+        static_cast<float>(sample.courier.service_time_mean_min / 10.0);
+    out.At(node, 7) = static_cast<float>(sample.weather) / 3.0f;
+    out.At(node, 8) = static_cast<float>(sample.weekday) / 6.0f;
+    out.At(node, 9) =
+        static_cast<float>(cumulative_km /
+                           std::max(0.5, sample.courier.avg_speed_mps));
+    out.At(node, 10) = static_cast<float>(task.aoi_type) / 5.0f;
+    // Hashed AOI identity: gives tree learners a feature they can split
+    // on (like feeding the raw id to XGBoost); nearly useless for the
+    // MLP heads, which reflects reality.
+    out.At(node, 11) =
+        static_cast<float>((task.aoi_id * 2654435761u) % 4096) / 4096.0f;
+  }
+  return out;
+}
+
+}  // namespace m2g::baselines

@@ -1,0 +1,32 @@
+#ifndef M2G_BASELINES_SEQ_FEATURES_H_
+#define M2G_BASELINES_SEQ_FEATURES_H_
+
+#include <vector>
+
+#include "synth/dataset.h"
+#include "tensor/matrix.h"
+
+namespace m2g::baselines {
+
+/// Hand-crafted features shared by the tree-based baseline (OSquare) and
+/// the separately-trained "plugged" time modules of the route-only deep
+/// baselines (§V-B). These deliberately exclude any graph structure — that
+/// is exactly the representational gap the paper's comparison probes.
+
+/// Candidate features for one unvisited location at one decode step.
+inline constexpr int kCandidateFeatureDim = 9;
+std::vector<float> CandidateFeatures(const synth::Sample& sample,
+                                     const geo::LatLng& current_pos,
+                                     int current_aoi, int step,
+                                     int num_unvisited, int candidate);
+
+/// Per-location features given a (predicted or label) route.
+inline constexpr int kTimeFeatureDim = 12;
+/// Returns an (n x kTimeFeatureDim) matrix, row i = features of location i
+/// under `route`.
+Matrix TimeFeatures(const synth::Sample& sample,
+                    const std::vector<int>& route);
+
+}  // namespace m2g::baselines
+
+#endif  // M2G_BASELINES_SEQ_FEATURES_H_

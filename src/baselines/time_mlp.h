@@ -1,0 +1,46 @@
+#ifndef M2G_BASELINES_TIME_MLP_H_
+#define M2G_BASELINES_TIME_MLP_H_
+
+#include <functional>
+#include <memory>
+
+#include "baselines/seq_features.h"
+#include "nn/mlp.h"
+
+namespace m2g::baselines {
+
+/// The paper's "plugged" time-prediction module (§V-B): a three-layer
+/// fully connected network trained *separately* from the route model. For
+/// each route-only baseline, the time head consumes per-location features
+/// derived from that baseline's predicted route.
+class PluggedTimeMlp {
+ public:
+  struct Config {
+    int hidden_dim = 32;
+    int epochs = 6;
+    float learning_rate = 2e-3f;
+    float time_scale_minutes = 60.0f;
+    uint64_t seed = 99;
+  };
+
+  explicit PluggedTimeMlp(const Config& config);
+
+  /// `route_fn` maps a sample to the route the (already trained) route
+  /// model predicts for it; the time head learns arrival gaps on top of
+  /// those routes.
+  void Fit(const synth::Dataset& train,
+           const std::function<std::vector<int>(const synth::Sample&)>&
+               route_fn);
+
+  /// Per-location arrival gaps (minutes, indexed by location node).
+  std::vector<double> PredictTimes(const synth::Sample& sample,
+                                   const std::vector<int>& route) const;
+
+ private:
+  Config config_;
+  std::unique_ptr<nn::Mlp> mlp_;
+};
+
+}  // namespace m2g::baselines
+
+#endif  // M2G_BASELINES_TIME_MLP_H_

@@ -1,0 +1,35 @@
+#ifndef M2G_COMMON_CHECK_H_
+#define M2G_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// CHECK macros for programmer errors (violated invariants, misuse of an
+/// internal API). They abort; recoverable conditions use Status instead.
+
+#define M2G_CHECK(cond)                                                     \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", __FILE__,         \
+                   __LINE__, #cond);                                        \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#define M2G_CHECK_MSG(cond, msg)                                            \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s (%s)\n", __FILE__,    \
+                   __LINE__, #cond, msg);                                   \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#define M2G_CHECK_EQ(a, b) M2G_CHECK((a) == (b))
+#define M2G_CHECK_NE(a, b) M2G_CHECK((a) != (b))
+#define M2G_CHECK_LT(a, b) M2G_CHECK((a) < (b))
+#define M2G_CHECK_LE(a, b) M2G_CHECK((a) <= (b))
+#define M2G_CHECK_GT(a, b) M2G_CHECK((a) > (b))
+#define M2G_CHECK_GE(a, b) M2G_CHECK((a) >= (b))
+
+#endif  // M2G_COMMON_CHECK_H_

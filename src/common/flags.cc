@@ -1,0 +1,78 @@
+#include "common/flags.h"
+
+#include <cstdlib>
+
+namespace m2g {
+
+Result<FlagParser> FlagParser::Parse(int argc, const char* const* argv) {
+  FlagParser parser;
+  int i = 1;
+  if (i < argc && argv[i][0] != '-') {
+    parser.command_ = argv[i];
+    ++i;
+  }
+  for (; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      parser.positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg = arg.substr(2);
+    if (arg.empty()) {
+      return Status::InvalidArgument("bare '--' is not a valid flag");
+    }
+    const size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      parser.flags_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && argv[i + 1][0] != '-') {
+      parser.flags_[arg] = argv[i + 1];
+      ++i;
+    } else {
+      parser.flags_[arg] = "true";  // boolean flag
+    }
+  }
+  return parser;
+}
+
+bool FlagParser::Has(const std::string& name) const {
+  queried_[name] = true;
+  return flags_.count(name) > 0;
+}
+
+std::string FlagParser::GetString(const std::string& name,
+                                  const std::string& default_value) const {
+  queried_[name] = true;
+  auto it = flags_.find(name);
+  return it == flags_.end() ? default_value : it->second;
+}
+
+int FlagParser::GetInt(const std::string& name, int default_value) const {
+  queried_[name] = true;
+  auto it = flags_.find(name);
+  return it == flags_.end() ? default_value : std::atoi(it->second.c_str());
+}
+
+double FlagParser::GetDouble(const std::string& name,
+                             double default_value) const {
+  queried_[name] = true;
+  auto it = flags_.find(name);
+  return it == flags_.end() ? default_value : std::atof(it->second.c_str());
+}
+
+bool FlagParser::GetBool(const std::string& name, bool default_value) const {
+  queried_[name] = true;
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return default_value;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+std::vector<std::string> FlagParser::UnqueriedFlags() const {
+  std::vector<std::string> out;
+  for (const auto& [name, value] : flags_) {
+    (void)value;
+    if (queried_.find(name) == queried_.end()) out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace m2g

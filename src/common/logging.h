@@ -1,0 +1,41 @@
+#ifndef M2G_COMMON_LOGGING_H_
+#define M2G_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace m2g {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Process-wide minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log line, emitted to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace m2g
+
+#define M2G_LOG(level)                                                     \
+  ::m2g::internal::LogMessage(::m2g::LogLevel::k##level, __FILE__,         \
+                              __LINE__)                                    \
+      .stream()
+
+#endif  // M2G_COMMON_LOGGING_H_

@@ -1,0 +1,89 @@
+#ifndef M2G_COMMON_STATUS_H_
+#define M2G_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace m2g {
+
+/// Error categories used across the library. The set is deliberately small:
+/// a reproduction library does not need RocksDB's full taxonomy, only enough
+/// to route "caller bug" vs "bad input" vs "I/O problem".
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kIoError,
+  kFailedPrecondition,
+  kInternal,
+};
+
+/// Arrow/RocksDB-style status object. Library code never throws; fallible
+/// public entry points return `Status` or `Result<T>`.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable "CODE: message" string, "OK" for success.
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Value-or-Status. `ok()` must be checked before `value()`.
+template <typename T>
+class Result {
+ public:
+  // NOLINTNEXTLINE(google-explicit-constructor): deliberate, mirrors absl.
+  Result(T value) : value_(std::move(value)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Result(Status status) : value_(std::move(status)) {}
+
+  bool ok() const { return std::holds_alternative<T>(value_); }
+  const T& value() const& { return std::get<T>(value_); }
+  T& value() & { return std::get<T>(value_); }
+  T&& value() && { return std::get<T>(std::move(value_)); }
+  Status status() const {
+    return ok() ? Status::Ok() : std::get<Status>(value_);
+  }
+
+ private:
+  std::variant<T, Status> value_;
+};
+
+}  // namespace m2g
+
+/// Propagate a non-OK Status out of the current function.
+#define M2G_RETURN_IF_ERROR(expr)            \
+  do {                                       \
+    ::m2g::Status _s = (expr);               \
+    if (!_s.ok()) return _s;                 \
+  } while (0)
+
+#endif  // M2G_COMMON_STATUS_H_

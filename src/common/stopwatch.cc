@@ -1,0 +1,14 @@
+#include "common/stopwatch.h"
+
+namespace m2g {
+
+void Stopwatch::Restart() { start_ = std::chrono::steady_clock::now(); }
+
+double Stopwatch::ElapsedMillis() const {
+  auto now = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(now - start_).count();
+}
+
+double Stopwatch::ElapsedSeconds() const { return ElapsedMillis() / 1000.0; }
+
+}  // namespace m2g

@@ -1,0 +1,27 @@
+#ifndef M2G_COMMON_STOPWATCH_H_
+#define M2G_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace m2g {
+
+/// Monotonic wall-clock stopwatch used by the latency probes and trainers.
+class Stopwatch {
+ public:
+  Stopwatch() { Restart(); }
+
+  void Restart();
+
+  /// Elapsed time since construction / last Restart, in milliseconds.
+  double ElapsedMillis() const;
+
+  /// Elapsed time in seconds.
+  double ElapsedSeconds() const;
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace m2g
+
+#endif  // M2G_COMMON_STOPWATCH_H_

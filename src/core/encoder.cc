@@ -1,0 +1,85 @@
+#include "core/encoder.h"
+
+#include "common/string_util.h"
+
+namespace m2g::core {
+
+LevelEncoder::LevelEncoder(const ModelConfig& config, int continuous_dim,
+                           Rng* rng)
+    : use_graph_(config.use_graph_encoder) {
+  feature_embed_ =
+      std::make_unique<LevelFeatureEmbed>(config, continuous_dim, rng);
+  AddChild("feature_embed", feature_embed_.get());
+  input_proj_ = std::make_unique<nn::Linear>(
+      config.hidden_dim + config.courier_dim, config.hidden_dim, rng);
+  AddChild("input_proj", input_proj_.get());
+  if (use_graph_) {
+    for (int k = 0; k < config.num_layers; ++k) {
+      const bool is_last = (k == config.num_layers - 1);
+      layers_.push_back(std::make_unique<GatELayer>(config, is_last, rng));
+      AddChild(StrFormat("gat%d", k), layers_.back().get());
+    }
+  } else {
+    fwd_lstm_ = std::make_unique<nn::LstmCell>(config.hidden_dim,
+                                               config.hidden_dim, rng);
+    bwd_lstm_ = std::make_unique<nn::LstmCell>(config.hidden_dim,
+                                               config.hidden_dim, rng);
+    bilstm_proj_ = std::make_unique<nn::Linear>(2 * config.hidden_dim,
+                                                config.hidden_dim, rng);
+    AddChild("fwd_lstm", fwd_lstm_.get());
+    AddChild("bwd_lstm", bwd_lstm_.get());
+    AddChild("bilstm_proj", bilstm_proj_.get());
+  }
+}
+
+EncodedLevel LevelEncoder::Encode(const graph::LevelGraph& level,
+                                  const Tensor& global_embed) const {
+  Tensor nodes = feature_embed_->EmbedNodes(level);
+  // Concatenate the global/courier vector onto every node (§IV-B).
+  nodes = input_proj_->Forward(
+      ConcatCols(nodes, BroadcastRows(global_embed, level.n)));
+  if (use_graph_) {
+    Tensor edges = feature_embed_->EmbedEdges(level);
+    return EncodeWithGat(nodes, edges, level.adjacency);
+  }
+  return {EncodeWithBiLstm(nodes), Tensor()};
+}
+
+EncodedLevel LevelEncoder::EncodeWithGat(
+    const Tensor& nodes, const Tensor& edges,
+    const std::vector<bool>& adjacency) const {
+  Tensor h = nodes;
+  Tensor z = edges;
+  for (const auto& layer : layers_) {
+    GatEOutput out = layer->Forward(h, z, adjacency);
+    // Residual connections (all layers keep width hidden_dim): attention
+    // aggregation alone washes out node identity on these tiny dense
+    // graphs, and the pointer decoder needs distinguishable nodes.
+    h = Add(h, out.nodes);
+    z = Add(z, out.edges);
+  }
+  return {h, z};
+}
+
+Tensor LevelEncoder::EncodeWithBiLstm(const Tensor& nodes) const {
+  const int n = nodes.rows();
+  std::vector<Tensor> fwd(n), bwd(n);
+  nn::LstmState state = fwd_lstm_->InitialState();
+  for (int i = 0; i < n; ++i) {
+    state = fwd_lstm_->Forward(Row(nodes, i), state);
+    fwd[i] = state.h;
+  }
+  state = bwd_lstm_->InitialState();
+  for (int i = n - 1; i >= 0; --i) {
+    state = bwd_lstm_->Forward(Row(nodes, i), state);
+    bwd[i] = state.h;
+  }
+  std::vector<Tensor> rows;
+  rows.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    rows.push_back(ConcatCols(fwd[i], bwd[i]));
+  }
+  return bilstm_proj_->Forward(ConcatRows(rows));
+}
+
+}  // namespace m2g::core

@@ -1,0 +1,55 @@
+#ifndef M2G_CORE_ENCODER_H_
+#define M2G_CORE_ENCODER_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/feature_embed.h"
+#include "core/gat_e.h"
+#include "nn/lstm_cell.h"
+
+namespace m2g::core {
+
+/// Encoder for one graph level: raw features -> embeddings (Eq. 18-19)
+/// -> K GAT-e layers (Eq. 20-26) -> node representations x~.
+///
+/// The global feature vector is concatenated onto every node embedding
+/// (§IV-B "Global Feature") and projected back to hidden_dim before the
+/// first layer.
+///
+/// With `use_graph_encoder == false` (the "w/o graph" ablation) the GAT-e
+/// stack is replaced by a bidirectional LSTM over the node sequence, as in
+/// §V-E.
+/// Encoder output: node representations plus (for the GAT-e variant) the
+/// final edge representations z (n*n, hidden_dim). `edges` is undefined
+/// for the BiLSTM ablation, which has no edge stream.
+struct EncodedLevel {
+  Tensor nodes;
+  Tensor edges;
+};
+
+class LevelEncoder : public nn::Module {
+ public:
+  LevelEncoder(const ModelConfig& config, int continuous_dim, Rng* rng);
+
+  EncodedLevel Encode(const graph::LevelGraph& level,
+                      const Tensor& global_embed) const;
+
+ private:
+  EncodedLevel EncodeWithGat(const Tensor& nodes, const Tensor& edges,
+                             const std::vector<bool>& adjacency) const;
+  Tensor EncodeWithBiLstm(const Tensor& nodes) const;
+
+  bool use_graph_;
+  std::unique_ptr<LevelFeatureEmbed> feature_embed_;
+  std::unique_ptr<nn::Linear> input_proj_;  // (hidden+courier) -> hidden
+  std::vector<std::unique_ptr<GatELayer>> layers_;
+  // BiLSTM fallback.
+  std::unique_ptr<nn::LstmCell> fwd_lstm_;
+  std::unique_ptr<nn::LstmCell> bwd_lstm_;
+  std::unique_ptr<nn::Linear> bilstm_proj_;
+};
+
+}  // namespace m2g::core
+
+#endif  // M2G_CORE_ENCODER_H_

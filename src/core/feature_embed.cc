@@ -1,0 +1,77 @@
+#include "core/feature_embed.h"
+
+#include "graph/features.h"
+
+namespace m2g::core {
+
+LevelFeatureEmbed::LevelFeatureEmbed(const ModelConfig& config,
+                                     int continuous_dim, Rng* rng)
+    : aoi_id_vocab_(config.aoi_id_vocab) {
+  const int cont_out = config.hidden_dim - config.aoi_id_embed_dim -
+                       config.aoi_type_embed_dim;
+  M2G_CHECK_MSG(cont_out > 0,
+                "discrete embeddings leave no room for continuous features");
+  continuous_proj_ =
+      std::make_unique<nn::Linear>(continuous_dim, cont_out, rng);
+  aoi_id_embed_ = std::make_unique<nn::Embedding>(
+      config.aoi_id_vocab, config.aoi_id_embed_dim, rng);
+  aoi_type_embed_ = std::make_unique<nn::Embedding>(
+      synth::kNumAoiTypes, config.aoi_type_embed_dim, rng);
+  edge_proj_ = std::make_unique<nn::Linear>(graph::kEdgeDim,
+                                            config.hidden_dim, rng);
+  AddChild("continuous_proj", continuous_proj_.get());
+  AddChild("aoi_id_embed", aoi_id_embed_.get());
+  AddChild("aoi_type_embed", aoi_type_embed_.get());
+  AddChild("edge_proj", edge_proj_.get());
+}
+
+Tensor LevelFeatureEmbed::EmbedNodes(const graph::LevelGraph& level) const {
+  Tensor cont = continuous_proj_->Forward(
+      Tensor::Constant(level.node_continuous));
+  std::vector<int> ids(level.node_aoi_id.size());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    ids[i] = level.node_aoi_id[i] % aoi_id_vocab_;
+  }
+  Tensor id_emb = aoi_id_embed_->Forward(ids);
+  Tensor type_emb = aoi_type_embed_->Forward(level.node_aoi_type);
+  return ConcatCols(ConcatCols(cont, id_emb), type_emb);
+}
+
+Tensor LevelFeatureEmbed::EmbedEdges(const graph::LevelGraph& level) const {
+  return edge_proj_->Forward(Tensor::Constant(level.edge_features));
+}
+
+GlobalFeatureEmbed::GlobalFeatureEmbed(const ModelConfig& config, Rng* rng)
+    : courier_id_vocab_(config.courier_id_vocab) {
+  const int cont_out = 8;
+  const int weather_dim = 4;
+  const int weekday_dim = 4;
+  continuous_proj_ = std::make_unique<nn::Linear>(
+      graph::kGlobalContinuousDim, cont_out, rng);
+  weather_embed_ = std::make_unique<nn::Embedding>(synth::kNumWeatherCodes,
+                                                   weather_dim, rng);
+  weekday_embed_ = std::make_unique<nn::Embedding>(7, weekday_dim, rng);
+  courier_embed_ = std::make_unique<nn::Embedding>(
+      config.courier_id_vocab, config.courier_id_embed_dim, rng);
+  out_proj_ = std::make_unique<nn::Linear>(
+      cont_out + weather_dim + weekday_dim + config.courier_id_embed_dim,
+      config.courier_dim, rng);
+  AddChild("continuous_proj", continuous_proj_.get());
+  AddChild("weather_embed", weather_embed_.get());
+  AddChild("weekday_embed", weekday_embed_.get());
+  AddChild("courier_embed", courier_embed_.get());
+  AddChild("out_proj", out_proj_.get());
+}
+
+Tensor GlobalFeatureEmbed::Embed(const synth::Sample& sample) const {
+  Tensor cont = continuous_proj_->Forward(
+      Tensor::Constant(graph::GlobalContinuousFeatures(sample)));
+  Tensor weather = weather_embed_->ForwardOne(sample.weather);
+  Tensor weekday = weekday_embed_->ForwardOne(sample.weekday);
+  Tensor courier =
+      courier_embed_->ForwardOne(sample.courier_id % courier_id_vocab_);
+  return out_proj_->Forward(ConcatCols(
+      ConcatCols(ConcatCols(cont, weather), weekday), courier));
+}
+
+}  // namespace m2g::core

@@ -1,0 +1,62 @@
+#ifndef M2G_CORE_FEATURE_EMBED_H_
+#define M2G_CORE_FEATURE_EMBED_H_
+
+#include <memory>
+
+#include "core/config.h"
+#include "nn/embedding.h"
+#include "nn/linear.h"
+#include "synth/dataset.h"
+
+namespace m2g::core {
+
+/// Eq. 18-19: projects one graph level's raw features into model space.
+/// Continuous features go through a linear layer; discrete features (AOI
+/// id, AOI type) through embedding tables; the pieces are concatenated so
+/// the node embedding has exactly `hidden_dim` columns. Edge features get
+/// a linear projection to `hidden_dim`.
+class LevelFeatureEmbed : public nn::Module {
+ public:
+  LevelFeatureEmbed(const ModelConfig& config, int continuous_dim,
+                    Rng* rng);
+
+  /// (n, hidden_dim) embedded node features.
+  Tensor EmbedNodes(const graph::LevelGraph& level) const;
+
+  /// (n*n, hidden_dim) embedded edge features.
+  Tensor EmbedEdges(const graph::LevelGraph& level) const;
+
+ private:
+  std::unique_ptr<nn::Linear> continuous_proj_;
+  std::unique_ptr<nn::Embedding> aoi_id_embed_;
+  std::unique_ptr<nn::Embedding> aoi_type_embed_;
+  std::unique_ptr<nn::Linear> edge_proj_;
+  int aoi_id_vocab_;
+};
+
+/// Embeds the global features (Eq. 17): continuous courier profile through
+/// a linear layer; weather, weekday and — crucially — the *courier
+/// identity* through embeddings (§IV-C concatenates "the courier's
+/// embedding and his profile features"; the identity embedding is what
+/// lets the model learn per-courier AOI habits). The result is the
+/// courier/global vector `u` used by the decoders and concatenated to
+/// node features in the encoder.
+class GlobalFeatureEmbed : public nn::Module {
+ public:
+  GlobalFeatureEmbed(const ModelConfig& config, Rng* rng);
+
+  /// (1, courier_dim).
+  Tensor Embed(const synth::Sample& sample) const;
+
+ private:
+  std::unique_ptr<nn::Linear> continuous_proj_;
+  std::unique_ptr<nn::Embedding> weather_embed_;
+  std::unique_ptr<nn::Embedding> weekday_embed_;
+  std::unique_ptr<nn::Embedding> courier_embed_;
+  std::unique_ptr<nn::Linear> out_proj_;
+  int courier_id_vocab_;
+};
+
+}  // namespace m2g::core
+
+#endif  // M2G_CORE_FEATURE_EMBED_H_

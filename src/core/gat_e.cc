@@ -1,0 +1,123 @@
+#include "core/gat_e.h"
+
+#include "common/string_util.h"
+#include "nn/init.h"
+
+namespace m2g::core {
+
+GatELayer::GatELayer(const ModelConfig& config, bool is_last, Rng* rng)
+    : hidden_dim_(config.hidden_dim),
+      num_heads_(config.num_heads),
+      // Hidden layers concatenate P heads back to d; the last layer
+      // averages full-width heads (Eq. 26).
+      head_dim_(is_last ? config.hidden_dim
+                        : config.hidden_dim / config.num_heads),
+      is_last_(is_last),
+      leaky_slope_(config.leaky_slope) {
+  const int d = hidden_dim_;
+  const int dh = head_dim_;
+  heads_.reserve(num_heads_);
+  for (int p = 0; p < num_heads_; ++p) {
+    Head h;
+    const std::string prefix = StrFormat("head%d_", p);
+    h.w1 = AddParameter(prefix + "w1", nn::XavierUniform(d, dh, rng));
+    h.av_src = AddParameter(prefix + "av_src",
+                            nn::XavierUniform(dh, 1, rng));
+    h.av_dst = AddParameter(prefix + "av_dst",
+                            nn::XavierUniform(dh, 1, rng));
+    h.ae = AddParameter(prefix + "ae", nn::XavierUniform(d, 1, rng));
+    h.w2 = AddParameter(prefix + "w2", nn::XavierUniform(d, dh, rng));
+    h.w3 = AddParameter(prefix + "w3", nn::XavierUniform(d, dh, rng));
+    h.w4 = AddParameter(prefix + "w4", nn::XavierUniform(d, dh, rng));
+    h.w5 = AddParameter(prefix + "w5", nn::XavierUniform(d, dh, rng));
+    heads_.push_back(std::move(h));
+  }
+}
+
+GatEOutput GatELayer::Forward(const Tensor& nodes, const Tensor& edges,
+                              const std::vector<bool>& adjacency) const {
+  const int n = nodes.rows();
+  M2G_CHECK_EQ(nodes.cols(), hidden_dim_);
+  M2G_CHECK_EQ(edges.rows(), n * n);
+  M2G_CHECK_EQ(adjacency.size(), static_cast<size_t>(n) * n);
+
+  // Pair index vectors for the edge update (Eq. 23): row i*n+j pairs
+  // node i with node j.
+  std::vector<int> src_idx(static_cast<size_t>(n) * n);
+  std::vector<int> dst_idx(static_cast<size_t>(n) * n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      src_idx[i * n + j] = i;
+      dst_idx[i * n + j] = j;
+    }
+  }
+
+  std::vector<Tensor> node_heads;
+  std::vector<Tensor> edge_heads;
+  node_heads.reserve(heads_.size());
+  edge_heads.reserve(heads_.size());
+
+  for (const Head& head : heads_) {
+    // Eq. 20 decomposed: c_ij = LeakyReLU(s_src[i] + s_dst[j] + s_e[ij]).
+    Tensor wh = MatMul(nodes, head.w1);            // (n, dh)
+    Tensor s_src = MatMul(wh, head.av_src);        // (n, 1)
+    Tensor s_dst_row = Transpose(MatMul(wh, head.av_dst));  // (1, n)
+    Tensor s_edge = MatMul(edges, head.ae);        // (n*n, 1)
+    // Messages. (Eq. 22 as printed applies W2 to h_i; aggregating the
+    // *neighbour* representation h_j is the standard GAT formulation and
+    // the only reading under which attention weights matter, so we use
+    // h_j.)
+    Tensor messages = MatMul(nodes, head.w2);      // (n, dh)
+
+    std::vector<Tensor> out_rows;
+    out_rows.reserve(n);
+    for (int i = 0; i < n; ++i) {
+      // Attention logits over node i's neighbourhood.
+      Tensor s_e_row = Transpose(SliceRows(s_edge, i * n, n));  // (1, n)
+      Tensor logits = LeakyRelu(
+          AddScalarTensor(Add(s_dst_row, s_e_row), Row(s_src, i)),
+          leaky_slope_);
+      std::vector<bool> mask(adjacency.begin() + i * n,
+                             adjacency.begin() + (i + 1) * n);
+      Tensor alpha = MaskedSoftmaxRow(logits, mask);  // Eq. 21
+      out_rows.push_back(MatMul(alpha, messages));    // (1, dh)
+    }
+    Tensor head_nodes = ConcatRows(out_rows);
+    if (!is_last_) head_nodes = Relu(head_nodes);  // Eq. 24 vs Eq. 26
+    node_heads.push_back(head_nodes);
+
+    // Eq. 23 / 25: z'_ij = ReLU(W3 z_ij + W4 h_i + W5 h_j).
+    Tensor edge_update =
+        Add(MatMul(edges, head.w3),
+            Add(MatMul(GatherRows(nodes, src_idx), head.w4),
+                MatMul(GatherRows(nodes, dst_idx), head.w5)));
+    edge_heads.push_back(Relu(edge_update));
+  }
+
+  GatEOutput out;
+  if (is_last_) {
+    // Average the full-width heads, then the delayed activation (Eq. 26).
+    Tensor acc = node_heads[0];
+    for (size_t p = 1; p < node_heads.size(); ++p) {
+      acc = Add(acc, node_heads[p]);
+    }
+    out.nodes = Relu(Scale(acc, 1.0f / static_cast<float>(num_heads_)));
+    Tensor eacc = edge_heads[0];
+    for (size_t p = 1; p < edge_heads.size(); ++p) {
+      eacc = Add(eacc, edge_heads[p]);
+    }
+    out.edges = Scale(eacc, 1.0f / static_cast<float>(num_heads_));
+  } else {
+    Tensor nodes_cat = node_heads[0];
+    Tensor edges_cat = edge_heads[0];
+    for (size_t p = 1; p < node_heads.size(); ++p) {
+      nodes_cat = ConcatCols(nodes_cat, node_heads[p]);
+      edges_cat = ConcatCols(edges_cat, edge_heads[p]);
+    }
+    out.nodes = nodes_cat;
+    out.edges = edges_cat;
+  }
+  return out;
+}
+
+}  // namespace m2g::core

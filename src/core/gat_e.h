@@ -1,0 +1,56 @@
+#ifndef M2G_CORE_GAT_E_H_
+#define M2G_CORE_GAT_E_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/config.h"
+#include "nn/module.h"
+#include "tensor/ops.h"
+
+namespace m2g::core {
+
+/// Output of one GAT-e layer: updated node and edge representations.
+struct GatEOutput {
+  Tensor nodes;  // (n, hidden_dim)
+  Tensor edges;  // (n*n, hidden_dim)
+};
+
+/// The paper's GAT-e module (Eq. 20-26): an edge-aware graph attention
+/// layer that (a) mixes edge embeddings into the attention coefficients
+/// via the a_e term and (b) updates edge representations from the incident
+/// nodes (Eq. 23). Multi-head: hidden layers concatenate P heads of width
+/// hidden/P (Eq. 24-25); a layer constructed with `is_last == true`
+/// averages P full-width heads and delays the ReLU (Eq. 26).
+class GatELayer : public nn::Module {
+ public:
+  GatELayer(const ModelConfig& config, bool is_last, Rng* rng);
+
+  /// `adjacency` is the n*n Eq. 15 connectivity (with self-loops); the
+  /// attention softmax for node i runs over {j : adj[i*n+j]}.
+  GatEOutput Forward(const Tensor& nodes, const Tensor& edges,
+                     const std::vector<bool>& adjacency) const;
+
+ private:
+  struct Head {
+    Tensor w1;      // (d, dh) attention transform (Eq. 20)
+    Tensor av_src;  // (dh, 1) first half of a_v
+    Tensor av_dst;  // (dh, 1) second half of a_v
+    Tensor ae;      // (d, 1) edge attention vector
+    Tensor w2;      // (d, dh) message transform (Eq. 22)
+    Tensor w3;      // (d, dh) edge update (Eq. 23)
+    Tensor w4;      // (d, dh)
+    Tensor w5;      // (d, dh)
+  };
+
+  int hidden_dim_;
+  int num_heads_;
+  int head_dim_;
+  bool is_last_;
+  float leaky_slope_;
+  std::vector<Head> heads_;
+};
+
+}  // namespace m2g::core
+
+#endif  // M2G_CORE_GAT_E_H_

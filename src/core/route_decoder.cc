@@ -1,0 +1,150 @@
+#include "core/route_decoder.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/init.h"
+
+namespace m2g::core {
+
+AttentionRouteDecoder::AttentionRouteDecoder(int node_dim, int courier_dim,
+                                             int lstm_hidden, Rng* rng)
+    : node_dim_(node_dim) {
+  lstm_ = std::make_unique<nn::LstmCell>(node_dim, lstm_hidden, rng);
+  AddChild("lstm", lstm_.get());
+  start_token_ =
+      AddParameter("start_token", nn::XavierUniform(1, node_dim, rng));
+  w6_ = AddParameter("w6", nn::XavierUniform(node_dim, node_dim, rng));
+  w7_ = AddParameter(
+      "w7", nn::XavierUniform(lstm_hidden + courier_dim, node_dim, rng));
+  v_ = AddParameter("v", nn::XavierUniform(node_dim, 1, rng));
+}
+
+Tensor AttentionRouteDecoder::StepLogits(const Tensor& nodes,
+                                         const Tensor& courier,
+                                         const nn::LstmState& state) const {
+  // q = W7 [h_{s-1} || u]; scores_j = v^T tanh(W6 x_j + q).
+  Tensor q = MatMul(ConcatCols(state.h, courier), w7_);  // (1, node_dim)
+  Tensor keys = AddRowBroadcast(MatMul(nodes, w6_), q);  // (n, node_dim)
+  return Transpose(MatMul(Tanh(keys), v_));              // (1, n)
+}
+
+Tensor AttentionRouteDecoder::TeacherForcedLoss(
+    const Tensor& nodes, const Tensor& courier,
+    const std::vector<int>& label_route) const {
+  const int n = nodes.rows();
+  M2G_CHECK_EQ(static_cast<int>(label_route.size()), n);
+  nn::LstmState state = lstm_->InitialState();
+  Tensor input = start_token_;
+  std::vector<bool> unvisited(n, true);
+  Tensor total = Tensor::Scalar(0.0f);
+  for (int s = 0; s < n; ++s) {
+    state = lstm_->Forward(input, state);
+    Tensor logits = StepLogits(nodes, courier, state);
+    total = Add(total,
+                MaskedCrossEntropy(logits, label_route[s], unvisited));
+    unvisited[label_route[s]] = false;
+    input = Row(nodes, label_route[s]);
+  }
+  return Scale(total, 1.0f / static_cast<float>(n));
+}
+
+std::vector<int> AttentionRouteDecoder::DecodeBeam(const Tensor& nodes,
+                                                   const Tensor& courier,
+                                                   int beam_width) const {
+  M2G_CHECK_GE(beam_width, 1);
+  if (beam_width == 1) return DecodeGreedy(nodes, courier);
+  const int n = nodes.rows();
+
+  struct Hypothesis {
+    nn::LstmState state;
+    Tensor input;
+    std::vector<bool> unvisited;
+    std::vector<int> route;
+    double logp = 0;
+  };
+  Hypothesis seed;
+  seed.state = lstm_->InitialState();
+  seed.input = start_token_;
+  seed.unvisited.assign(n, true);
+  std::vector<Hypothesis> beam = {std::move(seed)};
+
+  for (int s = 0; s < n; ++s) {
+    struct Expansion {
+      int hyp = 0;
+      int node = 0;
+      double logp = 0;
+      // Filled lazily after selection.
+    };
+    std::vector<Expansion> expansions;
+    std::vector<nn::LstmState> advanced(beam.size());
+    for (size_t h = 0; h < beam.size(); ++h) {
+      advanced[h] = lstm_->Forward(beam[h].input, beam[h].state);
+      Tensor logits = StepLogits(nodes, courier, advanced[h]);
+      // Masked log-softmax over the hypothesis's unvisited set.
+      const Matrix& lv = logits.value();
+      double max_v = -1e30;
+      for (int j = 0; j < n; ++j) {
+        if (beam[h].unvisited[j]) {
+          max_v = std::max(max_v, static_cast<double>(lv[j]));
+        }
+      }
+      double denom = 0;
+      for (int j = 0; j < n; ++j) {
+        if (beam[h].unvisited[j]) denom += std::exp(lv[j] - max_v);
+      }
+      const double log_z = max_v + std::log(denom);
+      for (int j = 0; j < n; ++j) {
+        if (!beam[h].unvisited[j]) continue;
+        expansions.push_back(
+            {static_cast<int>(h), j, beam[h].logp + lv[j] - log_z});
+      }
+    }
+    const size_t keep =
+        std::min<size_t>(static_cast<size_t>(beam_width),
+                         expansions.size());
+    std::partial_sort(expansions.begin(), expansions.begin() + keep,
+                      expansions.end(),
+                      [](const Expansion& a, const Expansion& b) {
+                        if (a.logp != b.logp) return a.logp > b.logp;
+                        return a.node < b.node;  // deterministic ties
+                      });
+    std::vector<Hypothesis> next;
+    next.reserve(keep);
+    for (size_t e = 0; e < keep; ++e) {
+      const Expansion& ex = expansions[e];
+      Hypothesis hyp;
+      hyp.state = advanced[ex.hyp];
+      hyp.input = Row(nodes, ex.node);
+      hyp.unvisited = beam[ex.hyp].unvisited;
+      hyp.unvisited[ex.node] = false;
+      hyp.route = beam[ex.hyp].route;
+      hyp.route.push_back(ex.node);
+      hyp.logp = ex.logp;
+      next.push_back(std::move(hyp));
+    }
+    beam = std::move(next);
+  }
+  return beam.front().route;
+}
+
+std::vector<int> AttentionRouteDecoder::DecodeGreedy(
+    const Tensor& nodes, const Tensor& courier) const {
+  const int n = nodes.rows();
+  nn::LstmState state = lstm_->InitialState();
+  Tensor input = start_token_;
+  std::vector<bool> unvisited(n, true);
+  std::vector<int> route;
+  route.reserve(n);
+  for (int s = 0; s < n; ++s) {
+    state = lstm_->Forward(input, state);
+    Tensor logits = StepLogits(nodes, courier, state);
+    const int pick = ArgmaxMaskedRow(logits.value(), unvisited);
+    route.push_back(pick);
+    unvisited[pick] = false;
+    input = Row(nodes, pick);
+  }
+  return route;
+}
+
+}  // namespace m2g::core

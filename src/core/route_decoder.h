@@ -1,0 +1,55 @@
+#ifndef M2G_CORE_ROUTE_DECODER_H_
+#define M2G_CORE_ROUTE_DECODER_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/config.h"
+#include "nn/linear.h"
+#include "nn/lstm_cell.h"
+
+namespace m2g::core {
+
+/// Attention-pointer route decoder (Eq. 27-31 at AOI level; Eq. 35 at
+/// location level — identical structure with a wider node input). An LSTM
+/// aggregates the already-emitted prefix into the current state h_{s-1};
+/// the pointer scores every unvisited node j with
+///   o_s^j = v^T tanh(W6 x_j + W7 [h_{s-1} || u])
+/// and visited nodes are masked to -inf (Eq. 29-30).
+class AttentionRouteDecoder : public nn::Module {
+ public:
+  AttentionRouteDecoder(int node_dim, int courier_dim, int lstm_hidden,
+                        Rng* rng);
+
+  /// Training pass: teacher-forced decoding along `label_route`; returns
+  /// the mean per-step masked cross-entropy (Eq. 37/38 inner sum).
+  Tensor TeacherForcedLoss(const Tensor& nodes, const Tensor& courier,
+                           const std::vector<int>& label_route) const;
+
+  /// Inference pass: greedy argmax decoding (Eq. 31). Returns a
+  /// permutation of {0..n-1}.
+  std::vector<int> DecodeGreedy(const Tensor& nodes,
+                                const Tensor& courier) const;
+
+  /// Beam-search decoding (extension beyond the paper's greedy Eq. 31):
+  /// keeps the `beam_width` partial routes with the highest total
+  /// log-probability. Width 1 is exactly DecodeGreedy.
+  std::vector<int> DecodeBeam(const Tensor& nodes, const Tensor& courier,
+                              int beam_width) const;
+
+ private:
+  /// (1, n) pointer logits for the current state.
+  Tensor StepLogits(const Tensor& nodes, const Tensor& courier,
+                    const nn::LstmState& state) const;
+
+  int node_dim_;
+  std::unique_ptr<nn::LstmCell> lstm_;
+  Tensor start_token_;  // learned first LSTM input
+  Tensor w6_;           // (node_dim, node_dim)
+  Tensor w7_;           // (lstm_hidden + courier_dim, node_dim)
+  Tensor v_;            // (node_dim, 1)
+};
+
+}  // namespace m2g::core
+
+#endif  // M2G_CORE_ROUTE_DECODER_H_

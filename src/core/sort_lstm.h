@@ -1,0 +1,52 @@
+#ifndef M2G_CORE_SORT_LSTM_H_
+#define M2G_CORE_SORT_LSTM_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/config.h"
+#include "nn/linear.h"
+#include "nn/lstm_cell.h"
+
+namespace m2g::core {
+
+/// SortLSTM (§IV-C, Eq. 32-33 and 36): consumes node representations
+/// *sorted by the (predicted or teacher) route*, each concatenated with a
+/// sinusoidal positional encoding of its route position, and emits one
+/// arrival-time scalar per step. Outputs are not forced monotone — the
+/// paper keeps that freedom as an error-correction mechanism against wrong
+/// route predictions.
+class SortLstm : public nn::Module {
+ public:
+  /// `edge_dim > 0` appends the encoder's representation of the edge
+  /// *traversed into* each step's node (z_{prev,cur}) to the step input —
+  /// the GAT-e edge stream explicitly encodes pairwise distance and
+  /// deadline gaps (Eq. 14), which is exactly the per-leg information an
+  /// arrival-time integrator needs. Step 0 uses the node's self-edge.
+  SortLstm(int node_dim, int pos_dim, float pos_base, int lstm_hidden,
+           Rng* rng, int edge_dim = 0);
+
+  /// `route[s]` = node visited s-th. Returns predictions indexed by NODE
+  /// (not by step): out[node] is that node's predicted arrival time, in
+  /// the model's scaled units. `edges` is the (n*n, edge_dim) encoder
+  /// edge stream; pass an undefined Tensor to feed zeros (e.g. the
+  /// BiLSTM ablation, which has no edge representations).
+  std::vector<Tensor> Forward(const Tensor& nodes,
+                              const std::vector<int>& route,
+                              const Tensor& edges = Tensor()) const;
+
+  /// Transformer-style sinusoidal encoding of `pos` (1-based in the
+  /// paper; we pass the 0-based step index).
+  static Matrix PositionalEncoding(int pos, int dim, float base);
+
+ private:
+  int pos_dim_;
+  float pos_base_;
+  int edge_dim_;
+  std::unique_ptr<nn::LstmCell> lstm_;
+  std::unique_ptr<nn::Linear> head_;
+};
+
+}  // namespace m2g::core
+
+#endif  // M2G_CORE_SORT_LSTM_H_

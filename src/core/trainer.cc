@@ -1,0 +1,120 @@
+#include "core/trainer.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace m2g::core {
+
+Trainer::Trainer(M2g4Rtp* model, const TrainConfig& config)
+    : model_(model), config_(config) {}
+
+void Trainer::SnapshotParams() {
+  best_params_.clear();
+  for (const Tensor& p : model_->Parameters()) {
+    best_params_.push_back(p.value());
+  }
+}
+
+void Trainer::RestoreParams() {
+  if (best_params_.empty()) return;
+  auto params = model_->Parameters();
+  M2G_CHECK_EQ(params.size(), best_params_.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    params[i].node()->value = best_params_[i];
+  }
+}
+
+float Trainer::Evaluate(const synth::Dataset& dataset) const {
+  if (dataset.samples.empty()) return 0.0f;
+  double total = 0;
+  for (const synth::Sample& s : dataset.samples) {
+    total += model_->ComputeLoss(s).item();
+  }
+  return static_cast<float>(total / dataset.samples.size());
+}
+
+std::vector<EpochStats> Trainer::Fit(const synth::Dataset& train,
+                                     const synth::Dataset& val) {
+  M2G_CHECK(!train.samples.empty());
+  nn::Adam optimizer(model_->Parameters(), config_.learning_rate, 0.9f,
+                     0.999f, 1e-8f, config_.weight_decay);
+  Rng rng(config_.shuffle_seed);
+
+  std::vector<EpochStats> history;
+  float best_val = std::numeric_limits<float>::infinity();
+  int stale_epochs = 0;
+
+  std::vector<int> order(train.samples.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    // Anneal the AOI-guidance scheduled sampling: teacher-forced guides
+    // early, inference-aligned guides by the final epoch.
+    model_->set_guidance_sampling_prob(
+        config_.epochs > 1
+            ? static_cast<float>(epoch) / (config_.epochs - 1)
+            : 1.0f);
+    rng.Shuffle(&order);
+    int limit = static_cast<int>(order.size());
+    if (config_.max_samples_per_epoch > 0) {
+      limit = std::min(limit, config_.max_samples_per_epoch);
+    }
+    double epoch_loss = 0;
+    LossBreakdown mean{};
+    optimizer.ZeroGrad();
+    int in_batch = 0;
+    for (int idx = 0; idx < limit; ++idx) {
+      LossBreakdown bd;
+      Tensor loss = model_->ComputeLoss(train.samples[order[idx]], &bd);
+      // Scale so a batch of accumulated gradients averages the samples.
+      Scale(loss, 1.0f / static_cast<float>(config_.batch_size)).Backward();
+      epoch_loss += bd.total;
+      mean.aoi_route += bd.aoi_route;
+      mean.location_route += bd.location_route;
+      mean.aoi_time += bd.aoi_time;
+      mean.location_time += bd.location_time;
+      if (++in_batch == config_.batch_size || idx + 1 == limit) {
+        optimizer.ClipGradNorm(config_.grad_clip_norm);
+        optimizer.Step();
+        optimizer.ZeroGrad();
+        in_batch = 0;
+      }
+    }
+    EpochStats stats;
+    stats.epoch = epoch;
+    stats.train_loss = static_cast<float>(epoch_loss / limit);
+    mean.aoi_route /= limit;
+    mean.location_route /= limit;
+    mean.aoi_time /= limit;
+    mean.location_time /= limit;
+    stats.mean_breakdown = mean;
+    stats.val_loss = Evaluate(val);
+    history.push_back(stats);
+    if (config_.verbose) {
+      M2G_LOG(Info) << "epoch " << epoch << " train=" << stats.train_loss
+                    << " val=" << stats.val_loss
+                    << " (route_l=" << mean.location_route
+                    << " time_l=" << mean.location_time << ")";
+    }
+    const float val_metric =
+        val.samples.empty() ? stats.train_loss : stats.val_loss;
+    if (val_metric < best_val) {
+      best_val = val_metric;
+      stale_epochs = 0;
+      SnapshotParams();
+    } else if (config_.early_stop_patience > 0 &&
+               ++stale_epochs >= config_.early_stop_patience) {
+      if (config_.verbose) {
+        M2G_LOG(Info) << "early stop at epoch " << epoch;
+      }
+      break;
+    }
+  }
+  RestoreParams();
+  return history;
+}
+
+}  // namespace m2g::core

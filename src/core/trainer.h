@@ -1,0 +1,59 @@
+#ifndef M2G_CORE_TRAINER_H_
+#define M2G_CORE_TRAINER_H_
+
+#include <vector>
+
+#include "core/model.h"
+#include "nn/optimizer.h"
+
+namespace m2g::core {
+
+struct TrainConfig {
+  int epochs = 8;
+  float learning_rate = 2e-3f;
+  /// Gradients accumulate over this many samples before a step.
+  int batch_size = 8;
+  float grad_clip_norm = 5.0f;
+  /// Decoupled AdamW weight decay (0 = plain Adam).
+  float weight_decay = 0.0f;
+  /// Stop after this many epochs without val improvement (0 = never).
+  int early_stop_patience = 3;
+  uint64_t shuffle_seed = 7;
+  bool verbose = false;
+  /// Optional cap on train samples per epoch (0 = all), for quick runs.
+  int max_samples_per_epoch = 0;
+};
+
+struct EpochStats {
+  int epoch = 0;
+  float train_loss = 0;
+  float val_loss = 0;
+  LossBreakdown mean_breakdown;
+};
+
+/// Trains any nn::Module-backed RTP model that exposes a ComputeLoss over
+/// samples. Snapshots the best-validation parameters and restores them at
+/// the end (early stopping).
+class Trainer {
+ public:
+  Trainer(M2g4Rtp* model, const TrainConfig& config);
+
+  /// Runs the full loop; returns per-epoch stats.
+  std::vector<EpochStats> Fit(const synth::Dataset& train,
+                              const synth::Dataset& val);
+
+  /// Mean total loss over a dataset (no gradient updates).
+  float Evaluate(const synth::Dataset& dataset) const;
+
+ private:
+  void SnapshotParams();
+  void RestoreParams();
+
+  M2g4Rtp* model_;
+  TrainConfig config_;
+  std::vector<Matrix> best_params_;
+};
+
+}  // namespace m2g::core
+
+#endif  // M2G_CORE_TRAINER_H_

@@ -1,0 +1,59 @@
+#include "core/uncertainty_loss.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace m2g::core {
+
+UncertaintyLoss::UncertaintyLoss() {
+  for (int i = 0; i < 4; ++i) {
+    s_[i] = AddParameter(StrFormat("log_sigma_sq_%d", i), Matrix(1, 1));
+  }
+}
+
+Tensor UncertaintyLoss::Combine(const Tensor& aoi_route_loss,
+                                const Tensor& location_route_loss,
+                                const Tensor& aoi_time_loss,
+                                const Tensor& location_time_loss) const {
+  const Tensor losses[4] = {aoi_route_loss, location_route_loss,
+                            aoi_time_loss, location_time_loss};
+  // Route (classification) tasks carry the 1/(2 sigma^2) factor; time
+  // (regression with L1) tasks carry 1/sigma^2, matching Eq. 41.
+  const float task_scale[4] = {0.5f, 0.5f, 1.0f, 1.0f};
+  Tensor total = Tensor::Scalar(0.0f);
+  for (int i = 0; i < 4; ++i) {
+    if (!losses[i].defined()) continue;
+    Tensor weighted = Mul(Scale(Exp(Neg(s_[i])), task_scale[i]), losses[i]);
+    total = Add(total, Add(weighted, Scale(s_[i], 0.5f)));
+  }
+  return total;
+}
+
+float UncertaintyLoss::Sigma(int task) const {
+  M2G_CHECK(task >= 0 && task < 4);
+  return std::exp(0.5f * s_[task].value()[0]);
+}
+
+Tensor FixedWeightCombine(const Tensor& aoi_route_loss,
+                          const Tensor& location_route_loss,
+                          const Tensor& aoi_time_loss,
+                          const Tensor& location_time_loss,
+                          float route_weight, float time_weight) {
+  Tensor total = Tensor::Scalar(0.0f);
+  if (aoi_route_loss.defined()) {
+    total = Add(total, Scale(aoi_route_loss, route_weight));
+  }
+  if (location_route_loss.defined()) {
+    total = Add(total, Scale(location_route_loss, route_weight));
+  }
+  if (aoi_time_loss.defined()) {
+    total = Add(total, Scale(aoi_time_loss, time_weight));
+  }
+  if (location_time_loss.defined()) {
+    total = Add(total, Scale(location_time_loss, time_weight));
+  }
+  return total;
+}
+
+}  // namespace m2g::core

@@ -1,0 +1,46 @@
+#ifndef M2G_CORE_UNCERTAINTY_LOSS_H_
+#define M2G_CORE_UNCERTAINTY_LOSS_H_
+
+#include "nn/module.h"
+#include "tensor/ops.h"
+
+namespace m2g::core {
+
+/// Homoscedastic-uncertainty multi-task weighting (Eq. 41, after Kendall &
+/// Gal). We learn s_i = log sigma_i^2, so the total loss
+///   L = 1/(2 s1^2) L^a_r + 1/(2 s2^2) L^l_r + 1/s3^2 L^a_t + 1/s4^2 L^l_t
+///       + sum log sigma_i
+/// becomes the unconditionally stable
+///   L = 0.5 exp(-s1) L^a_r + 0.5 exp(-s2) L^l_r
+///       + exp(-s3) L^a_t + exp(-s4) L^l_t + 0.5 (s1+s2+s3+s4).
+class UncertaintyLoss : public nn::Module {
+ public:
+  UncertaintyLoss();
+
+  /// Combines the four task losses. Any undefined tensor (e.g. the AOI
+  /// losses in the "w/o AOI" ablation) contributes nothing and its
+  /// uncertainty term is skipped.
+  Tensor Combine(const Tensor& aoi_route_loss,
+                 const Tensor& location_route_loss,
+                 const Tensor& aoi_time_loss,
+                 const Tensor& location_time_loss) const;
+
+  /// Current sigma_i = exp(s_i / 2) values, for logging/tests.
+  float Sigma(int task) const;
+
+ private:
+  Tensor s_[4];  // log sigma^2 per task, init 0 (sigma = 1)
+};
+
+/// The "w/o uncertainty" ablation: fixed manual weights, route:time =
+/// 100:1 as in §V-E.
+Tensor FixedWeightCombine(const Tensor& aoi_route_loss,
+                          const Tensor& location_route_loss,
+                          const Tensor& aoi_time_loss,
+                          const Tensor& location_time_loss,
+                          float route_weight = 100.0f,
+                          float time_weight = 1.0f);
+
+}  // namespace m2g::core
+
+#endif  // M2G_CORE_UNCERTAINTY_LOSS_H_

@@ -1,0 +1,59 @@
+#include "eval/ablation.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace m2g::eval {
+
+std::vector<std::string> AblationVariantNames() {
+  return {"M2G4RTP-two-step", "M2G4RTP-wo-aoi", "M2G4RTP-wo-graph",
+          "M2G4RTP-wo-uncertainty", "M2G4RTP"};
+}
+
+ComparisonResult RunAblation(const synth::DatasetSplits& splits,
+                             const EvalScale& scale,
+                             const std::string& cache_path) {
+  return RunOrLoadComparison(splits, AblationVariantNames(), scale,
+                             cache_path);
+}
+
+namespace {
+
+void PrintPanel(const ComparisonResult& result, const char* title,
+                double (*get)(const metrics::RouteTimeMetrics&),
+                bool higher_is_better) {
+  std::printf("\n%s (all samples)%s\n", title,
+              higher_is_better ? "  [higher is better]"
+                               : "  [lower is better]");
+  double max_v = 1e-12;
+  for (const MethodResult& m : result.methods) {
+    max_v = std::max(max_v, get(m.buckets[2]));
+  }
+  for (const MethodResult& m : result.methods) {
+    const double v = get(m.buckets[2]);
+    const int width = static_cast<int>(46.0 * v / max_v + 0.5);
+    std::printf("  %-24s %8.3f  ", m.method.c_str(), v);
+    for (int i = 0; i < width; ++i) std::printf("#");
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+void PrintAblationFigure(const ComparisonResult& result) {
+  std::printf("Figure 5: Component Analysis\n");
+  PrintPanel(
+      result, "(a) HR@3",
+      [](const metrics::RouteTimeMetrics& b) { return b.hr3; }, true);
+  PrintPanel(
+      result, "(b) KRC",
+      [](const metrics::RouteTimeMetrics& b) { return b.krc; }, true);
+  PrintPanel(
+      result, "(c) RMSE",
+      [](const metrics::RouteTimeMetrics& b) { return b.rmse; }, false);
+  PrintPanel(
+      result, "(d) MAE",
+      [](const metrics::RouteTimeMetrics& b) { return b.mae; }, false);
+}
+
+}  // namespace m2g::eval

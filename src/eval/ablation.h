@@ -1,0 +1,23 @@
+#ifndef M2G_EVAL_ABLATION_H_
+#define M2G_EVAL_ABLATION_H_
+
+#include "eval/comparison.h"
+
+namespace m2g::eval {
+
+/// Names of the §V-E ablation variants plus the full model, in the
+/// paper's Figure 5 order.
+std::vector<std::string> AblationVariantNames();
+
+/// Runs (or loads from cache) the Figure 5 component analysis.
+ComparisonResult RunAblation(const synth::DatasetSplits& splits,
+                             const EvalScale& scale,
+                             const std::string& cache_path);
+
+/// Prints the Figure 5 panels (HR@3, KRC, RMSE, MAE on the "all" bucket)
+/// as ASCII bar charts.
+void PrintAblationFigure(const ComparisonResult& result);
+
+}  // namespace m2g::eval
+
+#endif  // M2G_EVAL_ABLATION_H_

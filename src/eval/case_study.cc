@@ -1,0 +1,168 @@
+#include "eval/case_study.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <set>
+
+namespace m2g::eval {
+
+std::vector<int> PickCaseStudySamples(const synth::Dataset& test, int count,
+                                      int min_aois, int min_locations) {
+  std::vector<int> candidates;
+  for (int i = 0; i < test.size(); ++i) {
+    const synth::Sample& s = test.samples[i];
+    if (s.num_aois() >= min_aois && s.num_locations() >= min_locations) {
+      candidates.push_back(i);
+    }
+  }
+  // Prefer the longest multi-AOI routes (the hard cases of Figure 6).
+  std::sort(candidates.begin(), candidates.end(), [&](int a, int b) {
+    const synth::Sample& sa = test.samples[a];
+    const synth::Sample& sb = test.samples[b];
+    if (sa.num_aois() != sb.num_aois()) return sa.num_aois() > sb.num_aois();
+    return sa.num_locations() > sb.num_locations();
+  });
+  if (static_cast<int>(candidates.size()) > count) {
+    candidates.resize(count);
+  }
+  return candidates;
+}
+
+namespace {
+
+int CountAoiBounces(const synth::Sample& sample,
+                    const std::vector<int>& route) {
+  // A "bounce" leaves an AOI that still has unvisited locations.
+  std::vector<int> remaining(sample.num_aois(), 0);
+  for (int aoi : sample.loc_to_aoi) remaining[aoi]++;
+  int bounces = 0;
+  for (size_t s = 0; s < route.size(); ++s) {
+    const int aoi = sample.loc_to_aoi[route[s]];
+    remaining[aoi]--;
+    if (s + 1 < route.size()) {
+      const int next_aoi = sample.loc_to_aoi[route[s + 1]];
+      if (next_aoi != aoi && remaining[aoi] > 0) ++bounces;
+    }
+  }
+  return bounces;
+}
+
+}  // namespace
+
+CaseRendering RenderCase(const RtpModel& model,
+                         const synth::Sample& sample) {
+  CaseRendering r;
+  r.method = model.name();
+  core::RtpPrediction pred = model.Predict(sample);
+  r.route = pred.location_route;
+  r.times_min = pred.location_times_min;
+  double sq = 0, abs_sum = 0;
+  for (int i = 0; i < sample.num_locations(); ++i) {
+    const double err = pred.location_times_min[i] - sample.time_label_min[i];
+    sq += err * err;
+    abs_sum += std::fabs(err);
+  }
+  r.rmse = std::sqrt(sq / sample.num_locations());
+  r.mae = abs_sum / sample.num_locations();
+  r.aoi_bounces = CountAoiBounces(sample, r.route);
+  return r;
+}
+
+namespace {
+
+void PrintRouteLine(const synth::Sample& sample, const char* label,
+                    const std::vector<int>& route,
+                    const std::vector<double>* times) {
+  std::printf("  %-22s", label);
+  for (int node : route) {
+    std::printf(" %2d(A%d)", node, sample.loc_to_aoi[node]);
+  }
+  std::printf("\n");
+  if (times != nullptr) {
+    std::printf("  %-22s", "  arrival gaps (min)");
+    for (int node : route) {
+      std::printf(" %6.1f", (*times)[node]);
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+void PrintCase(const synth::Sample& sample,
+               const std::vector<CaseRendering>& renderings) {
+  std::printf("Case: courier %d, %d locations in %d AOIs, weather=%d\n",
+              sample.courier_id, sample.num_locations(), sample.num_aois(),
+              sample.weather);
+  PrintRouteLine(sample, "real route", sample.route_label,
+                 &sample.time_label_min);
+  std::printf("  real AOI bounces: %d\n",
+              [&] {
+                std::vector<int> remaining(sample.num_aois(), 0);
+                for (int aoi : sample.loc_to_aoi) remaining[aoi]++;
+                int bounces = 0;
+                const auto& route = sample.route_label;
+                for (size_t s = 0; s < route.size(); ++s) {
+                  const int aoi = sample.loc_to_aoi[route[s]];
+                  remaining[aoi]--;
+                  if (s + 1 < route.size() &&
+                      sample.loc_to_aoi[route[s + 1]] != aoi &&
+                      remaining[aoi] > 0) {
+                    ++bounces;
+                  }
+                }
+                return bounces;
+              }());
+  for (const CaseRendering& r : renderings) {
+    std::printf("-- %s (sample RMSE %.2f, MAE %.2f, AOI bounces %d)\n",
+                r.method.c_str(), r.rmse, r.mae, r.aoi_bounces);
+    PrintRouteLine(sample, "predicted route", r.route, &r.times_min);
+  }
+  std::printf("\n");
+}
+
+namespace {
+
+std::vector<double> PerSampleKrc(const RtpModel& model,
+                                 const synth::Dataset& test) {
+  std::vector<double> out;
+  out.reserve(test.samples.size());
+  for (const synth::Sample& s : test.samples) {
+    out.push_back(metrics::KendallRankCorrelation(
+        model.Predict(s).location_route, s.route_label));
+  }
+  return out;
+}
+
+std::vector<double> PerSampleMae(const RtpModel& model,
+                                 const synth::Dataset& test) {
+  std::vector<double> out;
+  out.reserve(test.samples.size());
+  for (const synth::Sample& s : test.samples) {
+    core::RtpPrediction pred = model.Predict(s);
+    double abs_sum = 0;
+    for (int i = 0; i < s.num_locations(); ++i) {
+      abs_sum += std::fabs(pred.location_times_min[i] -
+                           s.time_label_min[i]);
+    }
+    out.push_back(abs_sum / s.num_locations());
+  }
+  return out;
+}
+
+}  // namespace
+
+metrics::PairedComparison PairedRouteComparison(
+    const RtpModel& a, const RtpModel& b, const synth::Dataset& test) {
+  return metrics::PairedBootstrap(PerSampleKrc(a, test),
+                                  PerSampleKrc(b, test));
+}
+
+metrics::PairedComparison PairedTimeComparison(
+    const RtpModel& a, const RtpModel& b, const synth::Dataset& test) {
+  return metrics::PairedBootstrap(PerSampleMae(a, test),
+                                  PerSampleMae(b, test));
+}
+
+}  // namespace m2g::eval

@@ -1,0 +1,54 @@
+#ifndef M2G_EVAL_CASE_STUDY_H_
+#define M2G_EVAL_CASE_STUDY_H_
+
+#include "eval/rtp_model.h"
+#include "metrics/route_metrics.h"
+#include "metrics/significance.h"
+
+namespace m2g::eval {
+
+/// Figure 6 reproduction: pick interesting test samples (multi-AOI,
+/// reasonably long routes) and render real vs predicted routes as text,
+/// with per-sample RMSE/MAE of the time predictions.
+
+/// Returns indices into `test.samples` of up to `count` samples with at
+/// least `min_aois` AOIs and `min_locations` locations, preferring longer
+/// multi-AOI routes.
+std::vector<int> PickCaseStudySamples(const synth::Dataset& test, int count,
+                                      int min_aois = 3,
+                                      int min_locations = 8);
+
+/// One method's rendering for one sample.
+struct CaseRendering {
+  std::string method;
+  std::vector<int> route;          // location visit order
+  std::vector<double> times_min;   // indexed by location
+  double rmse = 0;
+  double mae = 0;
+  /// Number of AOI "bounces": transitions that leave an AOI while it
+  /// still has unvisited locations (the unreasonable behaviour the paper
+  /// calls out in Graph2Route's first case).
+  int aoi_bounces = 0;
+};
+
+CaseRendering RenderCase(const RtpModel& model, const synth::Sample& sample);
+
+/// Prints a sample's ground truth and each method's rendering.
+void PrintCase(const synth::Sample& sample,
+               const std::vector<CaseRendering>& renderings);
+
+/// Paired bootstrap over the whole test set: per-sample KRC of `a` minus
+/// `b` (route quality). Both models must already be fitted.
+metrics::PairedComparison PairedRouteComparison(const RtpModel& a,
+                                                const RtpModel& b,
+                                                const synth::Dataset& test);
+
+/// Same, over per-sample time MAE (lower is better, so a negative mean
+/// difference favours `a`).
+metrics::PairedComparison PairedTimeComparison(const RtpModel& a,
+                                               const RtpModel& b,
+                                               const synth::Dataset& test);
+
+}  // namespace m2g::eval
+
+#endif  // M2G_EVAL_CASE_STUDY_H_

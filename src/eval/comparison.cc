@@ -1,0 +1,262 @@
+#include "eval/comparison.h"
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+
+namespace m2g::eval {
+namespace {
+
+bool IsDeterministicHeuristic(const std::string& method) {
+  return method == "Distance-Greedy" || method == "Time-Greedy" ||
+         method == "OR-Tools";
+}
+
+/// One train+eval run of one method with one seed.
+MethodResult RunOnce(const synth::DatasetSplits& splits,
+                     const std::string& name, const EvalScale& scale) {
+  std::unique_ptr<RtpModel> model = CreateModel(name, scale);
+  Stopwatch fit_watch;
+  model->Fit(splits.train, splits.val);
+  MethodResult mr;
+  mr.method = name;
+  mr.fit_seconds = fit_watch.ElapsedSeconds();
+
+  metrics::BucketedEvaluator evaluator;
+  Stopwatch predict_watch;
+  for (const synth::Sample& s : splits.test.samples) {
+    core::RtpPrediction pred = model->Predict(s);
+    evaluator.AddSample(pred.location_route, s.route_label,
+                        pred.location_times_min, s.time_label_min);
+  }
+  mr.predict_ms_mean =
+      splits.test.samples.empty()
+          ? 0
+          : predict_watch.ElapsedMillis() / splits.test.samples.size();
+  for (int b = 0; b < metrics::kNumBuckets; ++b) {
+    mr.buckets[b] = evaluator.Get(static_cast<metrics::Bucket>(b));
+  }
+  return mr;
+}
+
+/// Elementwise mean/std over per-seed bucket metrics.
+void Aggregate(const std::vector<MethodResult>& runs, MethodResult* out) {
+  const int s = static_cast<int>(runs.size());
+  out->seeds = s;
+  for (int b = 0; b < metrics::kNumBuckets; ++b) {
+    out->buckets[b] = runs[0].buckets[b];  // copies the sample counts
+    metrics::RouteTimeMetrics sum{}, sum_sq{};
+    for (const MethodResult& run : runs) {
+      const metrics::RouteTimeMetrics& rb = run.buckets[b];
+      sum.hr3 += rb.hr3;
+      sum.krc += rb.krc;
+      sum.lsd += rb.lsd;
+      sum.rmse += rb.rmse;
+      sum.mae += rb.mae;
+      sum.acc20 += rb.acc20;
+      sum_sq.hr3 += rb.hr3 * rb.hr3;
+      sum_sq.krc += rb.krc * rb.krc;
+      sum_sq.lsd += rb.lsd * rb.lsd;
+      sum_sq.rmse += rb.rmse * rb.rmse;
+      sum_sq.mae += rb.mae * rb.mae;
+      sum_sq.acc20 += rb.acc20 * rb.acc20;
+    }
+    metrics::RouteTimeMetrics* mean = &out->buckets[b];
+    metrics::RouteTimeMetrics* std = &out->buckets_std[b];
+    double* sums[6] = {&sum.hr3, &sum.krc, &sum.lsd,
+                       &sum.rmse, &sum.mae, &sum.acc20};
+    double* sqs[6] = {&sum_sq.hr3, &sum_sq.krc, &sum_sq.lsd,
+                      &sum_sq.rmse, &sum_sq.mae, &sum_sq.acc20};
+    double* means[6] = {&mean->hr3, &mean->krc, &mean->lsd,
+                        &mean->rmse, &mean->mae, &mean->acc20};
+    double* stds[6] = {&std->hr3, &std->krc, &std->lsd,
+                       &std->rmse, &std->mae, &std->acc20};
+    for (int k = 0; k < 6; ++k) {
+      const double mu = *sums[k] / s;
+      *means[k] = mu;
+      const double var = std::max(0.0, *sqs[k] / s - mu * mu);
+      *stds[k] = std::sqrt(var);
+    }
+  }
+}
+
+}  // namespace
+
+const MethodResult* ComparisonResult::Find(const std::string& method) const {
+  for (const MethodResult& m : methods) {
+    if (m.method == method) return &m;
+  }
+  return nullptr;
+}
+
+ComparisonResult RunComparison(const synth::DatasetSplits& splits,
+                               const std::vector<std::string>& methods,
+                               const EvalScale& scale) {
+  ComparisonResult result;
+  for (const std::string& name : methods) {
+    const int seeds =
+        IsDeterministicHeuristic(name) ? 1 : std::max(1, scale.num_seeds);
+    std::vector<MethodResult> runs;
+    double total_fit = 0;
+    for (int s = 0; s < seeds; ++s) {
+      EvalScale run_scale = scale;
+      run_scale.seed = scale.seed + 1000 * static_cast<uint64_t>(s);
+      M2G_LOG(Info) << "training + evaluating " << name << " (seed "
+                    << s + 1 << "/" << seeds << ") ...";
+      runs.push_back(RunOnce(splits, name, run_scale));
+      total_fit += runs.back().fit_seconds;
+    }
+    MethodResult mr = runs.front();
+    Aggregate(runs, &mr);
+    mr.fit_seconds = total_fit;
+    result.methods.push_back(std::move(mr));
+  }
+  return result;
+}
+
+Status SaveComparison(const ComparisonResult& result,
+                      const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return Status::IoError("cannot write " + path);
+  std::fprintf(f, "m2g-comparison-v2 %zu\n", result.methods.size());
+  for (const MethodResult& m : result.methods) {
+    std::fprintf(f, "%s\t%d\t%.6f\t%.6f\n", m.method.c_str(), m.seeds,
+                 m.fit_seconds, m.predict_ms_mean);
+    for (int b = 0; b < metrics::kNumBuckets; ++b) {
+      const auto& mb = m.buckets[b];
+      const auto& sb = m.buckets_std[b];
+      std::fprintf(f,
+                   "%d %.6f %.6f %.6f %.6f %.6f %.6f "
+                   "%.6f %.6f %.6f %.6f %.6f %.6f\n",
+                   mb.samples, mb.hr3, mb.krc, mb.lsd, mb.rmse, mb.mae,
+                   mb.acc20, sb.hr3, sb.krc, sb.lsd, sb.rmse, sb.mae,
+                   sb.acc20);
+    }
+  }
+  std::fclose(f);
+  return Status::Ok();
+}
+
+Result<ComparisonResult> LoadComparison(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return Status::NotFound("no cache at " + path);
+  char header[64];
+  size_t count = 0;
+  if (std::fscanf(f, "%63s %zu\n", header, &count) != 2 ||
+      std::string(header) != "m2g-comparison-v2") {
+    std::fclose(f);
+    return Status::InvalidArgument("bad cache header in " + path);
+  }
+  ComparisonResult result;
+  for (size_t i = 0; i < count; ++i) {
+    MethodResult m;
+    char name[128];
+    if (std::fscanf(f, "%127[^\t]\t%d\t%lf\t%lf\n", name, &m.seeds,
+                    &m.fit_seconds, &m.predict_ms_mean) != 4) {
+      std::fclose(f);
+      return Status::InvalidArgument("bad method record in " + path);
+    }
+    m.method = name;
+    for (int b = 0; b < metrics::kNumBuckets; ++b) {
+      auto& mb = m.buckets[b];
+      auto& sb = m.buckets_std[b];
+      if (std::fscanf(f,
+                      "%d %lf %lf %lf %lf %lf %lf "
+                      "%lf %lf %lf %lf %lf %lf\n",
+                      &mb.samples, &mb.hr3, &mb.krc, &mb.lsd, &mb.rmse,
+                      &mb.mae, &mb.acc20, &sb.hr3, &sb.krc, &sb.lsd,
+                      &sb.rmse, &sb.mae, &sb.acc20) != 13) {
+        std::fclose(f);
+        return Status::InvalidArgument("bad bucket record in " + path);
+      }
+    }
+    result.methods.push_back(std::move(m));
+  }
+  std::fclose(f);
+  return result;
+}
+
+ComparisonResult RunOrLoadComparison(
+    const synth::DatasetSplits& splits,
+    const std::vector<std::string>& methods, const EvalScale& scale,
+    const std::string& cache_path) {
+  Result<ComparisonResult> cached = LoadComparison(cache_path);
+  if (cached.ok()) {
+    bool complete = true;
+    for (const std::string& m : methods) {
+      complete = complete && cached.value().Find(m) != nullptr;
+    }
+    if (complete) {
+      M2G_LOG(Info) << "loaded comparison cache from " << cache_path;
+      return std::move(cached).value();
+    }
+  }
+  ComparisonResult result = RunComparison(splits, methods, scale);
+  Status s = SaveComparison(result, cache_path);
+  if (!s.ok()) {
+    M2G_LOG(Warning) << "could not write cache: " << s.ToString();
+  }
+  return result;
+}
+
+namespace {
+
+void PrintBucketHeader(const char* a, const char* b, const char* c) {
+  std::printf("%-18s |%-42s|%-42s|%-42s\n", "",
+              "              n in (3,10]", "              n in (10,20]",
+              "                 all");
+  std::printf("%-18s", "Method");
+  for (int rep = 0; rep < 3; ++rep) {
+    std::printf(" |%13s %13s %13s", a, b, c);
+  }
+  std::printf("\n");
+  for (int i = 0; i < 18 + 3 * 43; ++i) std::printf("-");
+  std::printf("\n");
+}
+
+std::string Cell(double mean, double std, int precision) {
+  if (std > 0) {
+    return StrFormat("%.*f±%.*f", precision, mean,
+                     precision, std);
+  }
+  return StrFormat("%.*f", precision, mean);
+}
+
+}  // namespace
+
+void PrintRouteTable(const ComparisonResult& result) {
+  std::printf("Table III: Route Prediction Results (mean±std over seeds)\n");
+  PrintBucketHeader("HR@3", "KRC", "LSD");
+  for (const MethodResult& m : result.methods) {
+    std::printf("%-18s", m.method.c_str());
+    for (int b = 0; b < metrics::kNumBuckets; ++b) {
+      std::printf(" |%13s %13s %13s",
+                  Cell(m.buckets[b].hr3, m.buckets_std[b].hr3, 2).c_str(),
+                  Cell(m.buckets[b].krc, m.buckets_std[b].krc, 3).c_str(),
+                  Cell(m.buckets[b].lsd, m.buckets_std[b].lsd, 2).c_str());
+    }
+    std::printf("\n");
+  }
+}
+
+void PrintTimeTable(const ComparisonResult& result) {
+  std::printf("Table IV: Time Prediction Results (mean±std over seeds)\n");
+  PrintBucketHeader("RMSE", "MAE", "acc@20");
+  for (const MethodResult& m : result.methods) {
+    std::printf("%-18s", m.method.c_str());
+    for (int b = 0; b < metrics::kNumBuckets; ++b) {
+      std::printf(
+          " |%13s %13s %13s",
+          Cell(m.buckets[b].rmse, m.buckets_std[b].rmse, 2).c_str(),
+          Cell(m.buckets[b].mae, m.buckets_std[b].mae, 2).c_str(),
+          Cell(m.buckets[b].acc20, m.buckets_std[b].acc20, 2).c_str());
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace m2g::eval

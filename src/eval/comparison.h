@@ -1,0 +1,58 @@
+#ifndef M2G_EVAL_COMPARISON_H_
+#define M2G_EVAL_COMPARISON_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "eval/rtp_model.h"
+#include "metrics/report.h"
+
+namespace m2g::eval {
+
+/// One method's full evaluation record (all cells of its Table III and
+/// Table IV rows, plus timing).
+struct MethodResult {
+  std::string method;
+  /// Mean over the trained seeds (a single run's values when only one
+  /// seed ran).
+  metrics::RouteTimeMetrics buckets[metrics::kNumBuckets];
+  /// Per-metric standard deviation over seeds (all zeros for one seed /
+  /// deterministic heuristics).
+  metrics::RouteTimeMetrics buckets_std[metrics::kNumBuckets];
+  int seeds = 1;
+  double fit_seconds = 0;     // summed over seeds
+  double predict_ms_mean = 0;
+};
+
+struct ComparisonResult {
+  std::vector<MethodResult> methods;
+
+  const MethodResult* Find(const std::string& method) const;
+};
+
+/// Trains and evaluates each named method on the given splits.
+ComparisonResult RunComparison(const synth::DatasetSplits& splits,
+                               const std::vector<std::string>& methods,
+                               const EvalScale& scale);
+
+/// Text (de)serialization so Table III and Table IV benches share one
+/// training run via a cache file.
+Status SaveComparison(const ComparisonResult& result,
+                      const std::string& path);
+Result<ComparisonResult> LoadComparison(const std::string& path);
+
+/// Loads `cache_path` if it exists and covers all `methods`; otherwise
+/// runs the comparison and writes the cache.
+ComparisonResult RunOrLoadComparison(const synth::DatasetSplits& splits,
+                                     const std::vector<std::string>& methods,
+                                     const EvalScale& scale,
+                                     const std::string& cache_path);
+
+/// Prints one metric block ("route" or "time") in the paper's layout.
+void PrintRouteTable(const ComparisonResult& result);
+void PrintTimeTable(const ComparisonResult& result);
+
+}  // namespace m2g::eval
+
+#endif  // M2G_EVAL_COMPARISON_H_

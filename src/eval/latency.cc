@@ -1,0 +1,65 @@
+#include "eval/latency.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/stopwatch.h"
+
+namespace m2g::eval {
+
+std::string ComplexityFormula(const std::string& method) {
+  if (method == "Distance-Greedy" || method == "Time-Greedy") {
+    return "O(N log N)";
+  }
+  if (method == "OR-Tools") return "O(N^2) per 2-opt pass";
+  if (method == "OSquare") return "O(t d F N)";
+  if (method == "DeepRoute") return "O(N^2 F + N F^2 + N^2 F^2)";
+  if (method == "Graph2Route") return "O(N F^2 + E F^2 + N^2 F^2)";
+  if (method == "FDNET") return "O(N F^2 + N^2 F^2)";
+  if (method == "M2G4RTP") {
+    return "O(N F^2 + E F^2 + N^2 F^2 + A^2 F^2)";
+  }
+  return "?";
+}
+
+LatencyResult MeasureLatency(const RtpModel& model,
+                             const std::vector<synth::Sample>& samples) {
+  LatencyResult result;
+  result.method = model.name();
+  result.complexity = ComplexityFormula(model.name());
+  if (samples.empty()) return result;
+
+  std::vector<double> times;
+  times.reserve(samples.size());
+  double total = 0;
+  for (const synth::Sample& s : samples) {
+    Stopwatch watch;
+    core::RtpPrediction pred = model.Predict(s);
+    const double ms = watch.ElapsedMillis();
+    // Defeat dead-code elimination.
+    if (pred.location_route.empty()) std::fprintf(stderr, "!");
+    times.push_back(ms);
+    total += ms;
+  }
+  std::sort(times.begin(), times.end());
+  result.mean_ms = total / times.size();
+  result.p50_ms = times[times.size() / 2];
+  result.p99_ms = times[std::min(times.size() - 1,
+                                 times.size() * 99 / 100)];
+  return result;
+}
+
+void PrintScalabilityTable(const std::vector<LatencyResult>& rows) {
+  std::printf("Table V: Scalability Analysis\n");
+  std::printf("%-18s %-38s %10s %10s %10s\n", "Method",
+              "Inference Time Complexity", "mean (ms)", "p50 (ms)",
+              "p99 (ms)");
+  for (int i = 0; i < 90; ++i) std::printf("-");
+  std::printf("\n");
+  for (const LatencyResult& r : rows) {
+    std::printf("%-18s %-38s %10.3f %10.3f %10.3f\n", r.method.c_str(),
+                r.complexity.c_str(), r.mean_ms, r.p50_ms, r.p99_ms);
+  }
+}
+
+}  // namespace m2g::eval

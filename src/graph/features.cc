@@ -1,0 +1,159 @@
+#include "graph/features.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace m2g::graph {
+namespace {
+
+constexpr double kMinutesPerDay = 24.0 * 60.0;
+
+/// East/north offset of `p` from `origin` in km.
+void RelKm(const geo::LatLng& origin, const geo::LatLng& p, float* east,
+           float* north) {
+  const geo::LatLng east_probe{origin.lat, p.lng};
+  const geo::LatLng north_probe{p.lat, origin.lng};
+  double e = geo::ApproxMeters(origin, east_probe) / 1000.0;
+  double n = geo::ApproxMeters(origin, north_probe) / 1000.0;
+  if (p.lng < origin.lng) e = -e;
+  if (p.lat < origin.lat) n = -n;
+  *east = static_cast<float>(e);
+  *north = static_cast<float>(n);
+}
+
+}  // namespace
+
+Matrix LocationNodeFeatures(const synth::Sample& sample) {
+  const int n = sample.num_locations();
+  Matrix x(n, kLocationContinuousDim);
+  for (int i = 0; i < n; ++i) {
+    const synth::LocationTask& task = sample.locations[i];
+    float east = 0, north = 0;
+    RelKm(sample.courier_pos, task.pos, &east, &north);
+    x.At(i, 0) = east;
+    x.At(i, 1) = north;
+    x.At(i, 2) = static_cast<float>(task.dist_from_courier_m / 1000.0);
+    x.At(i, 3) = static_cast<float>(
+        (task.deadline_min - sample.query_time_min) / 60.0);
+    x.At(i, 4) = static_cast<float>(
+        (sample.query_time_min - task.accept_time_min) / 60.0);
+    x.At(i, 5) = static_cast<float>(
+        std::fmod(task.deadline_min, kMinutesPerDay) / kMinutesPerDay);
+  }
+  return x;
+}
+
+std::vector<geo::LatLng> AoiCentroids(const synth::Sample& sample) {
+  const int m = sample.num_aois();
+  std::vector<std::vector<geo::LatLng>> members(m);
+  for (int i = 0; i < sample.num_locations(); ++i) {
+    members[sample.loc_to_aoi[i]].push_back(sample.locations[i].pos);
+  }
+  std::vector<geo::LatLng> centroids(m);
+  for (int k = 0; k < m; ++k) {
+    M2G_CHECK(!members[k].empty());
+    centroids[k] = geo::Centroid(members[k]);
+  }
+  return centroids;
+}
+
+Matrix AoiNodeFeatures(const synth::Sample& sample) {
+  const int m = sample.num_aois();
+  Matrix x(m, kAoiContinuousDim);
+  std::vector<geo::LatLng> centroids = AoiCentroids(sample);
+  std::vector<double> earliest_deadline(m, 1e18);
+  std::vector<int> counts(m, 0);
+  for (int i = 0; i < sample.num_locations(); ++i) {
+    const int k = sample.loc_to_aoi[i];
+    earliest_deadline[k] =
+        std::min(earliest_deadline[k], sample.locations[i].deadline_min);
+    counts[k]++;
+  }
+  for (int k = 0; k < m; ++k) {
+    float east = 0, north = 0;
+    RelKm(sample.courier_pos, centroids[k], &east, &north);
+    x.At(k, 0) = east;
+    x.At(k, 1) = north;
+    x.At(k, 2) = static_cast<float>(
+        geo::ApproxMeters(sample.courier_pos, centroids[k]) / 1000.0);
+    x.At(k, 3) = static_cast<float>(
+        (earliest_deadline[k] - sample.query_time_min) / 60.0);
+    x.At(k, 4) = static_cast<float>(counts[k] / 5.0);
+    x.At(k, 5) = static_cast<float>(
+        std::fmod(earliest_deadline[k], kMinutesPerDay) / kMinutesPerDay);
+  }
+  return x;
+}
+
+Matrix GlobalContinuousFeatures(const synth::Sample& sample) {
+  Matrix g(1, kGlobalContinuousDim);
+  g.At(0, 0) = static_cast<float>(sample.courier.avg_working_hours / 10.0);
+  g.At(0, 1) = static_cast<float>(sample.courier.avg_speed_mps / 10.0);
+  g.At(0, 2) = static_cast<float>(sample.courier.attendance);
+  g.At(0, 3) =
+      static_cast<float>(sample.courier.service_time_mean_min / 10.0);
+  return g;
+}
+
+std::vector<bool> KnnConnectivity(const std::vector<geo::LatLng>& points,
+                                  const std::vector<double>& deadlines,
+                                  int k) {
+  const int n = static_cast<int>(points.size());
+  M2G_CHECK_EQ(points.size(), deadlines.size());
+  std::vector<bool> adj(static_cast<size_t>(n) * n, false);
+  auto connect = [&](int i, int j) {
+    adj[i * n + j] = true;
+    adj[j * n + i] = true;
+  };
+  for (int i = 0; i < n; ++i) {
+    adj[i * n + i] = true;  // self-loop (Eq. 15, i == j)
+    // Rank the other nodes by spatial and by temporal proximity.
+    std::vector<int> others;
+    for (int j = 0; j < n; ++j) {
+      if (j != i) others.push_back(j);
+    }
+    std::vector<int> by_dist = others;
+    std::sort(by_dist.begin(), by_dist.end(), [&](int a, int b) {
+      const double da = geo::ApproxMeters(points[i], points[a]);
+      const double db = geo::ApproxMeters(points[i], points[b]);
+      if (da != db) return da < db;
+      return a < b;  // deterministic tie-break
+    });
+    std::vector<int> by_gap = others;
+    std::sort(by_gap.begin(), by_gap.end(), [&](int a, int b) {
+      const double ga = std::fabs(deadlines[a] - deadlines[i]);
+      const double gb = std::fabs(deadlines[b] - deadlines[i]);
+      if (ga != gb) return ga < gb;
+      return a < b;
+    });
+    for (int r = 0; r < std::min<int>(k, static_cast<int>(others.size()));
+         ++r) {
+      connect(i, by_dist[r]);
+      connect(i, by_gap[r]);
+    }
+  }
+  return adj;
+}
+
+Matrix EdgeFeatures(const std::vector<geo::LatLng>& points,
+                    const std::vector<double>& deadlines,
+                    const std::vector<bool>& adjacency) {
+  const int n = static_cast<int>(points.size());
+  M2G_CHECK_EQ(adjacency.size(), static_cast<size_t>(n) * n);
+  Matrix e(n * n, kEdgeDim);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      const int row = i * n + j;
+      e.At(row, 0) = static_cast<float>(
+          geo::ApproxMeters(points[i], points[j]) / 1000.0);
+      e.At(row, 1) =
+          static_cast<float>(std::fabs(deadlines[i] - deadlines[j]) / 60.0);
+      e.At(row, 2) = adjacency[row] ? 1.0f : 0.0f;
+    }
+  }
+  return e;
+}
+
+}  // namespace m2g::graph

@@ -1,0 +1,74 @@
+#ifndef M2G_GRAPH_FEATURES_H_
+#define M2G_GRAPH_FEATURES_H_
+
+#include <vector>
+
+#include "synth/dataset.h"
+#include "tensor/matrix.h"
+
+namespace m2g::graph {
+
+// ---------------------------------------------------------------------------
+// Feature layouts. All continuous features are normalized to roughly [-3, 3]
+// so the linear projections of Eq. 18-19 start well-conditioned.
+// ---------------------------------------------------------------------------
+
+/// Continuous location-node features (Eq. 12), in column order:
+///   0 east offset from courier, km      (x^{l,geo})
+///   1 north offset from courier, km     (x^{l,geo})
+///   2 distance from courier, km         (x^{l,dis})
+///   3 deadline slack (dead - t), hours  (x^{l,dead} - t)
+///   4 order age (t - accept), hours     (x^{l,acc})
+///   5 deadline time-of-day, fraction    (x^{l,dead})
+inline constexpr int kLocationContinuousDim = 6;
+
+/// Continuous AOI-node features (Eq. 13):
+///   0 east offset of AOI centroid, km
+///   1 north offset, km
+///   2 distance from courier, km
+///   3 earliest deadline slack, hours
+///   4 number of unvisited locations in the AOI (scaled by 1/5)
+///   5 earliest deadline time-of-day, fraction
+inline constexpr int kAoiContinuousDim = 6;
+
+/// Edge features (Eq. 14 / 16), per (i, j):
+///   0 pairwise distance, km            (e^{dis})
+///   1 deadline gap |dead_i - dead_j|, hours  (e^{gap})
+///   2 connectivity 0/1                 (e^{con})
+inline constexpr int kEdgeDim = 3;
+
+/// Continuous global features (Eq. 17 continuous part):
+///   0 avg working hours / 10
+///   1 avg speed (m/s) / 10
+///   2 attendance
+///   3 mean service minutes / 10
+inline constexpr int kGlobalContinuousDim = 4;
+
+/// (n, kLocationContinuousDim) for the sample's locations.
+Matrix LocationNodeFeatures(const synth::Sample& sample);
+
+/// Per-AOI-node centroids of the sample's unvisited locations.
+std::vector<geo::LatLng> AoiCentroids(const synth::Sample& sample);
+
+/// (m, kAoiContinuousDim) for the sample's AOI nodes.
+Matrix AoiNodeFeatures(const synth::Sample& sample);
+
+/// (1, kGlobalContinuousDim) courier/global continuous features.
+Matrix GlobalContinuousFeatures(const synth::Sample& sample);
+
+/// Eq. 15 connectivity over arbitrary points: j is connected to i iff j is
+/// among i's k nearest spatial neighbours, or k nearest temporal
+/// neighbours (by |deadline gap|), or i == j; symmetrized.
+std::vector<bool> KnnConnectivity(const std::vector<geo::LatLng>& points,
+                                  const std::vector<double>& deadlines,
+                                  int k);
+
+/// (n*n, kEdgeDim) edge features for the given points/deadlines, using
+/// `adjacency` for column 2.
+Matrix EdgeFeatures(const std::vector<geo::LatLng>& points,
+                    const std::vector<double>& deadlines,
+                    const std::vector<bool>& adjacency);
+
+}  // namespace m2g::graph
+
+#endif  // M2G_GRAPH_FEATURES_H_

@@ -1,0 +1,53 @@
+#ifndef M2G_GRAPH_MULTI_LEVEL_GRAPH_H_
+#define M2G_GRAPH_MULTI_LEVEL_GRAPH_H_
+
+#include <vector>
+
+#include "synth/dataset.h"
+#include "tensor/matrix.h"
+
+namespace m2g::graph {
+
+struct GraphConfig {
+  /// k for the k-nearest spatial and temporal neighbourhoods (Eq. 15).
+  int k_neighbors = 5;
+};
+
+/// One level (locations or AOIs) of the multi-level graph. Continuous node
+/// features are already normalized; discrete features stay as ids for the
+/// embedding layers (Eq. 18).
+struct LevelGraph {
+  int n = 0;
+  /// (n, d) continuous node features; see features.h for the layout.
+  Matrix node_continuous;
+  /// Discrete node features, parallel arrays of length n.
+  std::vector<int> node_aoi_id;
+  std::vector<int> node_aoi_type;
+  /// (n*n, d_e) edge features, row-major by (i, j); layout in features.h.
+  Matrix edge_features;
+  /// e^{con}_{ij} == 1 (Eq. 15), row-major n*n. Symmetric, self-loops set.
+  std::vector<bool> adjacency;
+
+  bool AdjacentTo(int i, int j) const { return adjacency[i * n + j]; }
+};
+
+/// Definition 3: G = (G^l, G^a, E^la). The cross-level edge set is the
+/// location -> AOI-node assignment.
+struct MultiLevelGraph {
+  LevelGraph location;
+  LevelGraph aoi;
+  std::vector<int> loc_to_aoi;  // E^la: location idx -> AOI node idx
+};
+
+/// Builds the full multi-level graph for one RTP request.
+MultiLevelGraph BuildMultiLevelGraph(const synth::Sample& sample,
+                                     const GraphConfig& config);
+
+/// Builds only the location level (used by the "w/o AOI" ablation and the
+/// Graph2Route baseline, which are single-level).
+LevelGraph BuildLocationGraph(const synth::Sample& sample,
+                              const GraphConfig& config);
+
+}  // namespace m2g::graph
+
+#endif  // M2G_GRAPH_MULTI_LEVEL_GRAPH_H_

@@ -1,0 +1,64 @@
+#include "metrics/report.h"
+
+#include "common/check.h"
+
+namespace m2g::metrics {
+
+const char* BucketName(Bucket bucket) {
+  switch (bucket) {
+    case Bucket::kShort:
+      return "n in (3,10]";
+    case Bucket::kLong:
+      return "n in (10,20]";
+    case Bucket::kAll:
+      return "all";
+  }
+  return "?";
+}
+
+BucketedEvaluator::BucketedEvaluator() = default;
+
+void BucketedEvaluator::AddSample(
+    const std::vector<int>& predicted_route,
+    const std::vector<int>& label_route,
+    const std::vector<double>& predicted_minutes,
+    const std::vector<double>& label_minutes) {
+  const int n = static_cast<int>(label_route.size());
+  M2G_CHECK_EQ(predicted_route.size(), label_route.size());
+  M2G_CHECK_EQ(predicted_minutes.size(), label_minutes.size());
+  M2G_CHECK_MSG(IsPermutation(predicted_route, n),
+                "predicted route is not a permutation");
+  M2G_CHECK_MSG(IsPermutation(label_route, n),
+                "label route is not a permutation");
+
+  const double hr3 = 100.0 * HitRate(predicted_route, label_route, 3);
+  const double krc = KendallRankCorrelation(predicted_route, label_route);
+  const double lsd = LocationSquareDeviation(predicted_route, label_route);
+
+  const Bucket size_bucket = n <= 10 ? Bucket::kShort : Bucket::kLong;
+  for (Bucket b : {size_bucket, Bucket::kAll}) {
+    Accum& a = accums_[static_cast<int>(b)];
+    a.samples++;
+    a.hr3_sum += hr3;
+    a.krc_sum += krc;
+    a.lsd_sum += lsd;
+    a.time.AddAll(predicted_minutes, label_minutes);
+  }
+}
+
+RouteTimeMetrics BucketedEvaluator::Get(Bucket bucket) const {
+  const Accum& a = accums_[static_cast<int>(bucket)];
+  RouteTimeMetrics m;
+  m.samples = a.samples;
+  if (a.samples > 0) {
+    m.hr3 = a.hr3_sum / a.samples;
+    m.krc = a.krc_sum / a.samples;
+    m.lsd = a.lsd_sum / a.samples;
+  }
+  m.rmse = a.time.Rmse();
+  m.mae = a.time.Mae();
+  m.acc20 = a.time.AccAtTau();
+  return m;
+}
+
+}  // namespace m2g::metrics

@@ -1,0 +1,58 @@
+#ifndef M2G_METRICS_REPORT_H_
+#define M2G_METRICS_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "metrics/route_metrics.h"
+#include "metrics/time_metrics.h"
+
+namespace m2g::metrics {
+
+/// The paper's evaluation buckets: n in (3,10], n in (10,20], and all.
+/// (Samples with n == 3 land in the short bucket; the generator enforces
+/// n >= 3 so the open lower bound is moot.)
+enum class Bucket { kShort = 0, kLong = 1, kAll = 2 };
+inline constexpr int kNumBuckets = 3;
+
+const char* BucketName(Bucket bucket);
+
+/// One row of Table III + Table IV for one method and bucket.
+struct RouteTimeMetrics {
+  int samples = 0;
+  double hr3 = 0;    // percent
+  double krc = 0;
+  double lsd = 0;
+  double rmse = 0;   // minutes
+  double mae = 0;    // minutes
+  double acc20 = 0;  // percent
+};
+
+/// Accumulates per-sample predictions into the three buckets. Route metrics
+/// are macro-averaged over samples; time metrics are pooled over locations
+/// (Eq. 45 sums over all predictions).
+class BucketedEvaluator {
+ public:
+  BucketedEvaluator();
+
+  void AddSample(const std::vector<int>& predicted_route,
+                 const std::vector<int>& label_route,
+                 const std::vector<double>& predicted_minutes,
+                 const std::vector<double>& label_minutes);
+
+  RouteTimeMetrics Get(Bucket bucket) const;
+
+ private:
+  struct Accum {
+    int samples = 0;
+    double hr3_sum = 0;
+    double krc_sum = 0;
+    double lsd_sum = 0;
+    TimeMetricAccumulator time{20.0};
+  };
+  Accum accums_[kNumBuckets];
+};
+
+}  // namespace m2g::metrics
+
+#endif  // M2G_METRICS_REPORT_H_

@@ -1,0 +1,87 @@
+#include "metrics/route_metrics.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace m2g::metrics {
+namespace {
+
+/// positions[node] = rank of `node` in the sequence.
+std::vector<int> Positions(const std::vector<int>& seq) {
+  std::vector<int> pos(seq.size(), -1);
+  for (size_t r = 0; r < seq.size(); ++r) {
+    M2G_CHECK(seq[r] >= 0 && seq[r] < static_cast<int>(seq.size()));
+    M2G_CHECK_MSG(pos[seq[r]] == -1, "sequence repeats a node");
+    pos[seq[r]] = static_cast<int>(r);
+  }
+  return pos;
+}
+
+}  // namespace
+
+bool IsPermutation(const std::vector<int>& perm, int n) {
+  if (static_cast<int>(perm.size()) != n) return false;
+  std::vector<bool> seen(n, false);
+  for (int v : perm) {
+    if (v < 0 || v >= n || seen[v]) return false;
+    seen[v] = true;
+  }
+  return true;
+}
+
+double HitRate(const std::vector<int>& predicted,
+               const std::vector<int>& label, int k) {
+  M2G_CHECK_EQ(predicted.size(), label.size());
+  M2G_CHECK(!label.empty());
+  const int kk = std::min<int>(k, static_cast<int>(label.size()));
+  int hits = 0;
+  for (int i = 0; i < kk; ++i) {
+    for (int j = 0; j < kk; ++j) {
+      if (predicted[i] == label[j]) {
+        ++hits;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(hits) / kk;
+}
+
+double KendallRankCorrelation(const std::vector<int>& predicted,
+                              const std::vector<int>& label) {
+  M2G_CHECK_EQ(predicted.size(), label.size());
+  const int n = static_cast<int>(label.size());
+  if (n < 2) return 1.0;
+  std::vector<int> pred_pos = Positions(predicted);
+  std::vector<int> true_pos = Positions(label);
+  int64_t concordant = 0, discordant = 0;
+  for (int a = 0; a < n; ++a) {
+    for (int b = a + 1; b < n; ++b) {
+      const int dp = pred_pos[a] - pred_pos[b];
+      const int dt = true_pos[a] - true_pos[b];
+      if ((dp > 0) == (dt > 0)) {
+        ++concordant;
+      } else {
+        ++discordant;
+      }
+    }
+  }
+  return static_cast<double>(concordant - discordant) /
+         static_cast<double>(concordant + discordant);
+}
+
+double LocationSquareDeviation(const std::vector<int>& predicted,
+                               const std::vector<int>& label) {
+  M2G_CHECK_EQ(predicted.size(), label.size());
+  M2G_CHECK(!label.empty());
+  std::vector<int> pred_pos = Positions(predicted);
+  std::vector<int> true_pos = Positions(label);
+  double sum = 0;
+  for (size_t i = 0; i < label.size(); ++i) {
+    const double d = pred_pos[i] - true_pos[i];
+    sum += d * d;
+  }
+  return sum / static_cast<double>(label.size());
+}
+
+}  // namespace m2g::metrics

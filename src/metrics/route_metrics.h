@@ -1,0 +1,30 @@
+#ifndef M2G_METRICS_ROUTE_METRICS_H_
+#define M2G_METRICS_ROUTE_METRICS_H_
+
+#include <vector>
+
+namespace m2g::metrics {
+
+/// HR@k (Eq. 42): fraction of the first k predicted items that appear in
+/// the first k items of the label. Both sequences are permutations of the
+/// same node set; k is clamped to the sequence length.
+double HitRate(const std::vector<int>& predicted,
+               const std::vector<int>& label, int k);
+
+/// Kendall Rank Correlation (Eq. 43) between the predicted and true visit
+/// orders. Both are permutations of {0..n-1} expressed as visit sequences.
+/// Returns a value in [-1, 1]; 1 for identical order.
+double KendallRankCorrelation(const std::vector<int>& predicted,
+                              const std::vector<int>& label);
+
+/// Location Square Deviation (Eq. 44): mean squared difference between
+/// each node's predicted and true positions in the route.
+double LocationSquareDeviation(const std::vector<int>& predicted,
+                               const std::vector<int>& label);
+
+/// True if `perm` is a permutation of {0..n-1}.
+bool IsPermutation(const std::vector<int>& perm, int n);
+
+}  // namespace m2g::metrics
+
+#endif  // M2G_METRICS_ROUTE_METRICS_H_

@@ -1,0 +1,55 @@
+#include "metrics/significance.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace m2g::metrics {
+
+PairedComparison PairedBootstrap(const std::vector<double>& a,
+                                 const std::vector<double>& b,
+                                 int resamples, uint64_t seed) {
+  M2G_CHECK_EQ(a.size(), b.size());
+  M2G_CHECK(!a.empty());
+  M2G_CHECK_GE(resamples, 100);
+  const int n = static_cast<int>(a.size());
+
+  PairedComparison out;
+  out.samples = n;
+  std::vector<double> diff(n);
+  for (int i = 0; i < n; ++i) {
+    out.mean_a += a[i];
+    out.mean_b += b[i];
+    diff[i] = a[i] - b[i];
+    out.mean_diff += diff[i];
+  }
+  out.mean_a /= n;
+  out.mean_b /= n;
+  out.mean_diff /= n;
+
+  Rng rng(seed);
+  std::vector<double> boot_means(resamples);
+  int sign_flips = 0;
+  for (int r = 0; r < resamples; ++r) {
+    double sum = 0;
+    for (int i = 0; i < n; ++i) sum += diff[rng.UniformInt(0, n - 1)];
+    boot_means[r] = sum / n;
+    // Count resamples whose mean lies on the other side of zero from the
+    // observed mean (or exactly zero): basis of the two-sided p-value.
+    if (out.mean_diff >= 0 ? boot_means[r] <= 0 : boot_means[r] >= 0) {
+      ++sign_flips;
+    }
+  }
+  std::sort(boot_means.begin(), boot_means.end());
+  const int lo = static_cast<int>(0.025 * resamples);
+  const int hi = std::min(resamples - 1,
+                          static_cast<int>(0.975 * resamples));
+  out.diff_ci_low = boot_means[lo];
+  out.diff_ci_high = boot_means[hi];
+  out.p_value = std::min(
+      1.0, 2.0 * (static_cast<double>(sign_flips) + 1.0) / (resamples + 1));
+  return out;
+}
+
+}  // namespace m2g::metrics

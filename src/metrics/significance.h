@@ -1,0 +1,32 @@
+#ifndef M2G_METRICS_SIGNIFICANCE_H_
+#define M2G_METRICS_SIGNIFICANCE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace m2g::metrics {
+
+/// Paired bootstrap comparison of two methods evaluated on the same
+/// samples (e.g. per-sample KRC of M2G4RTP vs Graph2Route). Use this to
+/// decide whether a table margin is real at a given test-set size.
+struct PairedComparison {
+  int samples = 0;
+  double mean_a = 0;
+  double mean_b = 0;
+  double mean_diff = 0;      // mean(a - b)
+  double diff_ci_low = 0;    // 95% bootstrap CI of the difference
+  double diff_ci_high = 0;
+  /// Two-sided bootstrap p-value for H0: mean difference == 0.
+  double p_value = 1.0;
+};
+
+/// `a[i]` and `b[i]` must be the two methods' metric on the *same* i-th
+/// sample. `resamples` bootstrap draws (>= 100).
+PairedComparison PairedBootstrap(const std::vector<double>& a,
+                                 const std::vector<double>& b,
+                                 int resamples = 10000,
+                                 uint64_t seed = 1234);
+
+}  // namespace m2g::metrics
+
+#endif  // M2G_METRICS_SIGNIFICANCE_H_

@@ -1,0 +1,41 @@
+#include "metrics/time_metrics.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace m2g::metrics {
+
+void TimeMetricAccumulator::Add(double predicted_min, double actual_min) {
+  const double err = predicted_min - actual_min;
+  ++count_;
+  sum_sq_ += err * err;
+  sum_abs_ += std::fabs(err);
+  if (std::fabs(err) < tau_) ++within_tau_;
+}
+
+void TimeMetricAccumulator::AddAll(const std::vector<double>& predicted,
+                                   const std::vector<double>& actual) {
+  M2G_CHECK_EQ(predicted.size(), actual.size());
+  for (size_t i = 0; i < predicted.size(); ++i) {
+    Add(predicted[i], actual[i]);
+  }
+}
+
+double TimeMetricAccumulator::Rmse() const {
+  if (count_ == 0) return 0;
+  return std::sqrt(sum_sq_ / static_cast<double>(count_));
+}
+
+double TimeMetricAccumulator::Mae() const {
+  if (count_ == 0) return 0;
+  return sum_abs_ / static_cast<double>(count_);
+}
+
+double TimeMetricAccumulator::AccAtTau() const {
+  if (count_ == 0) return 0;
+  return 100.0 * static_cast<double>(within_tau_) /
+         static_cast<double>(count_);
+}
+
+}  // namespace m2g::metrics

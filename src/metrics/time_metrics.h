@@ -1,0 +1,36 @@
+#ifndef M2G_METRICS_TIME_METRICS_H_
+#define M2G_METRICS_TIME_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace m2g::metrics {
+
+/// Streaming accumulator for the Eq. 45 time metrics: RMSE, MAE and
+/// acc@τ (fraction of predictions within τ minutes of the truth).
+class TimeMetricAccumulator {
+ public:
+  explicit TimeMetricAccumulator(double tau_minutes = 20.0)
+      : tau_(tau_minutes) {}
+
+  void Add(double predicted_min, double actual_min);
+  void AddAll(const std::vector<double>& predicted,
+              const std::vector<double>& actual);
+
+  int64_t count() const { return count_; }
+  double Rmse() const;
+  double Mae() const;
+  /// In percent, like the paper's acc@20 column.
+  double AccAtTau() const;
+
+ private:
+  double tau_;
+  int64_t count_ = 0;
+  double sum_sq_ = 0;
+  double sum_abs_ = 0;
+  int64_t within_tau_ = 0;
+};
+
+}  // namespace m2g::metrics
+
+#endif  // M2G_METRICS_TIME_METRICS_H_

@@ -1,0 +1,29 @@
+#include "nn/embedding.h"
+
+#include <algorithm>
+
+#include "nn/init.h"
+
+namespace m2g::nn {
+
+Embedding::Embedding(int vocab_size, int dim, Rng* rng)
+    : vocab_size_(vocab_size), dim_(dim) {
+  M2G_CHECK_GT(vocab_size, 0);
+  M2G_CHECK_GT(dim, 0);
+  table_ = AddParameter("table",
+                        Matrix::Random(vocab_size, dim, -0.1f, 0.1f, rng));
+}
+
+Tensor Embedding::Forward(const std::vector<int>& ids) const {
+  std::vector<int> clamped(ids.size());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    clamped[i] = std::clamp(ids[i], 0, vocab_size_ - 1);
+  }
+  return GatherRows(table_, clamped);
+}
+
+Tensor Embedding::ForwardOne(int id) const {
+  return Forward(std::vector<int>{id});
+}
+
+}  // namespace m2g::nn

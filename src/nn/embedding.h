@@ -1,0 +1,35 @@
+#ifndef M2G_NN_EMBEDDING_H_
+#define M2G_NN_EMBEDDING_H_
+
+#include <vector>
+
+#include "nn/module.h"
+#include "tensor/ops.h"
+
+namespace m2g::nn {
+
+/// Lookup table mapping integer ids in [0, vocab) to d-dimensional rows.
+/// Out-of-range ids are clamped into range (ids beyond the training vocab
+/// map to the last bucket — the "unknown" row).
+class Embedding : public Module {
+ public:
+  Embedding(int vocab_size, int dim, Rng* rng);
+
+  /// (ids.size(), dim) stack of embedding rows.
+  Tensor Forward(const std::vector<int>& ids) const;
+
+  /// Single id -> (1, dim).
+  Tensor ForwardOne(int id) const;
+
+  int vocab_size() const { return vocab_size_; }
+  int dim() const { return dim_; }
+
+ private:
+  int vocab_size_;
+  int dim_;
+  Tensor table_;  // (vocab, dim)
+};
+
+}  // namespace m2g::nn
+
+#endif  // M2G_NN_EMBEDDING_H_

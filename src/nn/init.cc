@@ -1,0 +1,17 @@
+#include "nn/init.h"
+
+#include <cmath>
+
+namespace m2g::nn {
+
+Matrix XavierUniform(int rows, int cols, Rng* rng) {
+  const float a = std::sqrt(6.0f / static_cast<float>(rows + cols));
+  return Matrix::Random(rows, cols, -a, a, rng);
+}
+
+Matrix KaimingUniform(int rows, int cols, int fan_in, Rng* rng) {
+  const float a = 1.0f / std::sqrt(static_cast<float>(fan_in));
+  return Matrix::Random(rows, cols, -a, a, rng);
+}
+
+}  // namespace m2g::nn

@@ -1,0 +1,18 @@
+#ifndef M2G_NN_INIT_H_
+#define M2G_NN_INIT_H_
+
+#include "common/rng.h"
+#include "tensor/matrix.h"
+
+namespace m2g::nn {
+
+/// Xavier/Glorot uniform: U(-a, a) with a = sqrt(6 / (fan_in + fan_out)).
+Matrix XavierUniform(int rows, int cols, Rng* rng);
+
+/// Uniform in [-1/sqrt(fan_in), 1/sqrt(fan_in)] — PyTorch's default for
+/// Linear/LSTM weights.
+Matrix KaimingUniform(int rows, int cols, int fan_in, Rng* rng);
+
+}  // namespace m2g::nn
+
+#endif  // M2G_NN_INIT_H_

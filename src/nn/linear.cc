@@ -1,0 +1,23 @@
+#include "nn/linear.h"
+
+#include "nn/init.h"
+
+namespace m2g::nn {
+
+Linear::Linear(int in_features, int out_features, Rng* rng, bool bias)
+    : in_features_(in_features), out_features_(out_features) {
+  weight_ = AddParameter(
+      "weight", KaimingUniform(in_features, out_features, in_features, rng));
+  if (bias) {
+    bias_ = AddParameter(
+        "bias", KaimingUniform(1, out_features, in_features, rng));
+  }
+}
+
+Tensor Linear::Forward(const Tensor& x) const {
+  Tensor y = MatMul(x, weight_);
+  if (bias_.defined()) y = AddRowBroadcast(y, bias_);
+  return y;
+}
+
+}  // namespace m2g::nn

@@ -1,0 +1,39 @@
+#include "nn/lstm_cell.h"
+
+#include "nn/init.h"
+
+namespace m2g::nn {
+
+LstmCell::LstmCell(int input_size, int hidden_size, Rng* rng)
+    : input_size_(input_size), hidden_size_(hidden_size) {
+  w_ih_ = AddParameter(
+      "w_ih", KaimingUniform(input_size, 4 * hidden_size, hidden_size, rng));
+  w_hh_ = AddParameter(
+      "w_hh",
+      KaimingUniform(hidden_size, 4 * hidden_size, hidden_size, rng));
+  Matrix b = KaimingUniform(1, 4 * hidden_size, hidden_size, rng);
+  // Forget-gate slice is [hidden, 2*hidden); bias it toward remembering.
+  for (int c = hidden_size; c < 2 * hidden_size; ++c) b.At(0, c) += 1.0f;
+  bias_ = AddParameter("bias", std::move(b));
+}
+
+LstmState LstmCell::Forward(const Tensor& x, const LstmState& state) const {
+  M2G_CHECK_EQ(x.cols(), input_size_);
+  Tensor gates = AddRowBroadcast(
+      Add(MatMul(x, w_ih_), MatMul(state.h, w_hh_)), bias_);
+  const int h = hidden_size_;
+  Tensor i = Sigmoid(SliceCols(gates, 0, h));
+  Tensor f = Sigmoid(SliceCols(gates, h, h));
+  Tensor g = Tanh(SliceCols(gates, 2 * h, h));
+  Tensor o = Sigmoid(SliceCols(gates, 3 * h, h));
+  Tensor c_next = Add(Mul(f, state.c), Mul(i, g));
+  Tensor h_next = Mul(o, Tanh(c_next));
+  return {h_next, c_next};
+}
+
+LstmState LstmCell::InitialState() const {
+  return {Tensor::Constant(Matrix(1, hidden_size_)),
+          Tensor::Constant(Matrix(1, hidden_size_))};
+}
+
+}  // namespace m2g::nn

@@ -1,0 +1,46 @@
+#ifndef M2G_NN_LSTM_CELL_H_
+#define M2G_NN_LSTM_CELL_H_
+
+#include <utility>
+
+#include "nn/module.h"
+#include "tensor/ops.h"
+
+namespace m2g::nn {
+
+/// Hidden/cell state pair of an LSTM step.
+struct LstmState {
+  Tensor h;  // (1, hidden)
+  Tensor c;  // (1, hidden)
+};
+
+/// Standard LSTM cell:
+///   [i f g o] = x W_ih + h W_hh + b
+///   c' = sigmoid(f) * c + sigmoid(i) * tanh(g)
+///   h' = sigmoid(o) * tanh(c')
+/// Forget-gate bias is initialized to +1 (the usual trick for gradient flow
+/// on short sequences).
+class LstmCell : public Module {
+ public:
+  LstmCell(int input_size, int hidden_size, Rng* rng);
+
+  /// One step. `x` is (1, input). Returns the next state.
+  LstmState Forward(const Tensor& x, const LstmState& state) const;
+
+  /// All-zeros initial state (constant, no grad).
+  LstmState InitialState() const;
+
+  int input_size() const { return input_size_; }
+  int hidden_size() const { return hidden_size_; }
+
+ private:
+  int input_size_;
+  int hidden_size_;
+  Tensor w_ih_;  // (input, 4*hidden)
+  Tensor w_hh_;  // (hidden, 4*hidden)
+  Tensor bias_;  // (1, 4*hidden)
+};
+
+}  // namespace m2g::nn
+
+#endif  // M2G_NN_LSTM_CELL_H_

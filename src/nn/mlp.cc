@@ -1,0 +1,25 @@
+#include "nn/mlp.h"
+
+#include "common/string_util.h"
+
+namespace m2g::nn {
+
+Mlp::Mlp(const std::vector<int>& dims, Rng* rng) {
+  M2G_CHECK_GE(dims.size(), 2u);
+  for (size_t i = 0; i + 1 < dims.size(); ++i) {
+    layers_.push_back(
+        std::make_unique<Linear>(dims[i], dims[i + 1], rng));
+    AddChild(StrFormat("layer%zu", i), layers_.back().get());
+  }
+}
+
+Tensor Mlp::Forward(const Tensor& x) const {
+  Tensor h = x;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    h = layers_[i]->Forward(h);
+    if (i + 1 < layers_.size()) h = Relu(h);
+  }
+  return h;
+}
+
+}  // namespace m2g::nn

@@ -1,0 +1,28 @@
+#ifndef M2G_NN_MLP_H_
+#define M2G_NN_MLP_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/linear.h"
+
+namespace m2g::nn {
+
+/// Fully connected feed-forward network with ReLU between layers and a
+/// linear output layer. `dims` = {in, hidden..., out}.
+class Mlp : public Module {
+ public:
+  Mlp(const std::vector<int>& dims, Rng* rng);
+
+  Tensor Forward(const Tensor& x) const;
+
+  int in_features() const { return layers_.front()->in_features(); }
+  int out_features() const { return layers_.back()->out_features(); }
+
+ private:
+  std::vector<std::unique_ptr<Linear>> layers_;
+};
+
+}  // namespace m2g::nn
+
+#endif  // M2G_NN_MLP_H_

@@ -1,0 +1,44 @@
+#include "nn/module.h"
+
+namespace m2g::nn {
+
+std::vector<Tensor> Module::Parameters() const {
+  std::vector<Tensor> out;
+  for (const auto& [name, p] : NamedParameters()) {
+    (void)name;
+    out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, Tensor>> Module::NamedParameters() const {
+  std::vector<std::pair<std::string, Tensor>> out;
+  for (const auto& [name, p] : params_) out.emplace_back(name, p);
+  for (const auto& [name, child] : children_) {
+    for (const auto& [cname, p] : child->NamedParameters()) {
+      out.emplace_back(name + "/" + cname, p);
+    }
+  }
+  return out;
+}
+
+int64_t Module::ParameterCount() const {
+  int64_t total = 0;
+  for (const auto& [name, p] : NamedParameters()) {
+    (void)name;
+    total += p.value().size();
+  }
+  return total;
+}
+
+Tensor Module::AddParameter(const std::string& name, Matrix init) {
+  Tensor t = Tensor::Parameter(std::move(init));
+  params_.emplace_back(name, t);
+  return t;
+}
+
+void Module::AddChild(const std::string& name, Module* child) {
+  children_.emplace_back(name, child);
+}
+
+}  // namespace m2g::nn

@@ -1,0 +1,48 @@
+#ifndef M2G_NN_MODULE_H_
+#define M2G_NN_MODULE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace m2g::nn {
+
+/// Base class for trainable components. A module owns named parameter
+/// leaves and (non-owning) links to child modules; `NamedParameters`
+/// flattens the tree with "/"-joined prefixes, giving stable names for the
+/// optimizer and the serializer.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  Module() = default;
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  /// All parameters of this module and its children, depth-first.
+  std::vector<Tensor> Parameters() const;
+
+  /// Parameters with hierarchical names ("encoder/layer0/W1", ...).
+  std::vector<std::pair<std::string, Tensor>> NamedParameters() const;
+
+  /// Total number of scalar parameters.
+  int64_t ParameterCount() const;
+
+ protected:
+  /// Registers a trainable leaf initialized to `init`.
+  Tensor AddParameter(const std::string& name, Matrix init);
+
+  /// Registers a child module. The child must outlive this module
+  /// (typically it is a data member).
+  void AddChild(const std::string& name, Module* child);
+
+ private:
+  std::vector<std::pair<std::string, Tensor>> params_;
+  std::vector<std::pair<std::string, Module*>> children_;
+};
+
+}  // namespace m2g::nn
+
+#endif  // M2G_NN_MODULE_H_

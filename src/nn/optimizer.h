@@ -1,0 +1,63 @@
+#ifndef M2G_NN_OPTIMIZER_H_
+#define M2G_NN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace m2g::nn {
+
+/// Optimizer interface over a fixed parameter list. Gradients accumulate
+/// in the parameter leaves across Backward() calls (mini-batch via
+/// accumulation); Step() consumes and ZeroGrad() clears them.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Tensor> params)
+      : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  virtual void Step() = 0;
+
+  void ZeroGrad();
+
+  /// Scales gradients so that their global L2 norm is at most `max_norm`.
+  /// Returns the pre-clip norm.
+  float ClipGradNorm(float max_norm);
+
+  void set_learning_rate(float lr) { lr_ = lr; }
+  float learning_rate() const { return lr_; }
+
+ protected:
+  std::vector<Tensor> params_;
+  float lr_ = 1e-3f;
+};
+
+/// Plain SGD, optionally with momentum.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Tensor> params, float lr, float momentum = 0.0f);
+  void Step() override;
+
+ private:
+  float momentum_;
+  std::vector<Matrix> velocity_;
+};
+
+/// Adam (Kingma & Ba) with bias correction; `weight_decay > 0` gives
+/// decoupled AdamW regularization.
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Tensor> params, float lr, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f, float weight_decay = 0.0f);
+  void Step() override;
+
+ private:
+  float beta1_, beta2_, eps_, weight_decay_;
+  int64_t t_ = 0;
+  std::vector<Matrix> m_;
+  std::vector<Matrix> v_;
+};
+
+}  // namespace m2g::nn
+
+#endif  // M2G_NN_OPTIMIZER_H_

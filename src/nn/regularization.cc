@@ -1,0 +1,26 @@
+#include "nn/regularization.h"
+
+namespace m2g::nn {
+
+Tensor Dropout::Apply(const Tensor& x) {
+  if (rate_ == 0.0f) return x;
+  Matrix mask(x.rows(), x.cols());
+  const float keep_scale = 1.0f / (1.0f - rate_);
+  for (int i = 0; i < mask.size(); ++i) {
+    mask[i] = rng_.Bernoulli(rate_) ? 0.0f : keep_scale;
+  }
+  return Mul(x, Tensor::Constant(std::move(mask)));
+}
+
+LayerNorm::LayerNorm(int dim, float eps) : dim_(dim), eps_(eps) {
+  M2G_CHECK_GT(dim, 0);
+  gain_ = AddParameter("gain", Matrix::Ones(1, dim));
+  bias_ = AddParameter("bias", Matrix(1, dim));
+}
+
+Tensor LayerNorm::Forward(const Tensor& x) const {
+  M2G_CHECK_EQ(x.cols(), dim_);
+  return LayerNormRows(x, gain_, bias_, eps_);
+}
+
+}  // namespace m2g::nn

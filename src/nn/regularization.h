@@ -1,0 +1,49 @@
+#ifndef M2G_NN_REGULARIZATION_H_
+#define M2G_NN_REGULARIZATION_H_
+
+#include "common/rng.h"
+#include "nn/module.h"
+#include "tensor/ops.h"
+
+namespace m2g::nn {
+
+/// Inverted dropout. Stateless apart from its RNG: call Apply during
+/// training only (inference code simply skips it — standard inverted
+/// scaling keeps expectations equal).
+class Dropout {
+ public:
+  Dropout(float rate, uint64_t seed) : rate_(rate), rng_(seed) {
+    M2G_CHECK(rate >= 0.0f && rate < 1.0f);
+  }
+
+  /// Zeroes each entry with probability `rate` and scales survivors by
+  /// 1/(1-rate). Rate 0 returns the input unchanged.
+  Tensor Apply(const Tensor& x);
+
+  float rate() const { return rate_; }
+
+ private:
+  float rate_;
+  Rng rng_;
+};
+
+/// Layer normalization over each row (the feature axis), with learnable
+/// gain and bias.
+class LayerNorm : public Module {
+ public:
+  LayerNorm(int dim, float eps = 1e-5f);
+
+  Tensor Forward(const Tensor& x) const;
+
+  int dim() const { return dim_; }
+
+ private:
+  int dim_;
+  float eps_;
+  Tensor gain_;  // (1, dim), init 1
+  Tensor bias_;  // (1, dim), init 0
+};
+
+}  // namespace m2g::nn
+
+#endif  // M2G_NN_REGULARIZATION_H_

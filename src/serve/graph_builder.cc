@@ -1,0 +1,15 @@
+#include "serve/graph_builder.h"
+
+namespace m2g::serve {
+
+double GraphBuilder::Distance(const geo::LatLng& a,
+                              const geo::LatLng& b) const {
+  return geo::ApproxMeters(a, b);
+}
+
+graph::MultiLevelGraph GraphBuilder::Build(
+    const synth::Sample& sample) const {
+  return graph::BuildMultiLevelGraph(sample, config_);
+}
+
+}  // namespace m2g::serve

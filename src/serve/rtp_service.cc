@@ -1,0 +1,13 @@
+#include "serve/rtp_service.h"
+
+namespace m2g::serve {
+
+RtpService::Response RtpService::Handle(const RtpRequest& request) const {
+  Response response;
+  response.sample = extractor_.BuildSample(request);
+  response.prediction = model_->Predict(response.sample);
+  ++requests_served_;
+  return response;
+}
+
+}  // namespace m2g::serve

@@ -1,0 +1,42 @@
+#ifndef M2G_SERVE_RTP_SERVICE_H_
+#define M2G_SERVE_RTP_SERVICE_H_
+
+#include <memory>
+
+#include "core/model.h"
+#include "serve/feature_extractor.h"
+#include "serve/graph_builder.h"
+
+namespace m2g::serve {
+
+/// Figure 7 "M2G4RTP Service": the online inference layer. Owns the
+/// pre-trained model and answers RTP requests end-to-end (features ->
+/// multi-level graph -> joint route & time prediction).
+class RtpService {
+ public:
+  /// `model` must outlive the service; it is typically loaded from a
+  /// weights file produced by offline training.
+  RtpService(const synth::World* world, const core::M2g4Rtp* model)
+      : extractor_(world), model_(model) {}
+
+  /// Joint prediction plus the sample the features resolved to (callers
+  /// need the node ordering to map route indices back to order ids).
+  struct Response {
+    synth::Sample sample;
+    core::RtpPrediction prediction;
+  };
+
+  Response Handle(const RtpRequest& request) const;
+
+  /// Number of requests served (monitoring counter).
+  int64_t requests_served() const { return requests_served_; }
+
+ private:
+  FeatureExtractor extractor_;
+  const core::M2g4Rtp* model_;
+  mutable int64_t requests_served_ = 0;
+};
+
+}  // namespace m2g::serve
+
+#endif  // M2G_SERVE_RTP_SERVICE_H_

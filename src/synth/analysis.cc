@@ -1,0 +1,110 @@
+#include "synth/analysis.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace m2g::synth {
+
+HabitConsistency ComputeHabitConsistency(
+    const std::vector<TripRecord>& trips) {
+  // courier -> (aoi_a, aoi_b) with a < b -> (a-before-b count, total).
+  std::map<int, std::map<std::pair<int, int>, std::pair<int, int>>>
+      per_courier;
+  for (const TripRecord& trip : trips) {
+    // First-visit order of AOIs within this trip.
+    std::vector<int> aoi_order;
+    std::set<int> seen;
+    for (const ServedOrder& so : trip.served) {
+      if (seen.insert(so.order.aoi_id).second) {
+        aoi_order.push_back(so.order.aoi_id);
+      }
+    }
+    auto& pairs = per_courier[trip.courier_id];
+    for (size_t i = 0; i < aoi_order.size(); ++i) {
+      for (size_t j = i + 1; j < aoi_order.size(); ++j) {
+        const int a = std::min(aoi_order[i], aoi_order[j]);
+        const int b = std::max(aoi_order[i], aoi_order[j]);
+        auto& [a_first, total] = pairs[{a, b}];
+        if (aoi_order[i] == a) ++a_first;
+        ++total;
+      }
+    }
+  }
+
+  HabitConsistency out;
+  double consistency_sum = 0;
+  std::set<int> couriers;
+  for (const auto& [courier, pairs] : per_courier) {
+    for (const auto& [pair, counts] : pairs) {
+      (void)pair;
+      const auto& [a_first, total] = counts;
+      if (total < 2) continue;  // need repetition to measure a habit
+      const int majority = std::max(a_first, total - a_first);
+      consistency_sum += static_cast<double>(majority) / total;
+      ++out.pairs_measured;
+      couriers.insert(courier);
+    }
+  }
+  out.couriers_measured = static_cast<int>(couriers.size());
+  if (out.pairs_measured > 0) {
+    out.mean_pair_consistency = consistency_sum / out.pairs_measured;
+  }
+  return out;
+}
+
+DeadlineStats ComputeDeadlineStats(const std::vector<TripRecord>& trips) {
+  DeadlineStats out;
+  double slack_sum = 0;
+  int64_t on_time = 0;
+  for (const TripRecord& trip : trips) {
+    for (const ServedOrder& so : trip.served) {
+      const double slack = so.order.deadline_min - so.arrival_time_min;
+      slack_sum += slack;
+      if (slack >= 0) ++on_time;
+      ++out.orders;
+    }
+  }
+  if (out.orders > 0) {
+    out.on_time_fraction = static_cast<double>(on_time) / out.orders;
+    out.mean_slack_min = slack_sum / out.orders;
+  }
+  return out;
+}
+
+SweepStats ComputeSweepStats(const std::vector<TripRecord>& trips) {
+  SweepStats out;
+  double completeness_sum = 0;
+  int64_t complete_blocks = 0;
+  for (const TripRecord& trip : trips) {
+    // Pending count per AOI as the trip progresses.
+    std::map<int, int> remaining;
+    for (const ServedOrder& so : trip.served) {
+      remaining[so.order.aoi_id]++;
+    }
+    size_t i = 0;
+    while (i < trip.served.size()) {
+      const int aoi = trip.served[i].order.aoi_id;
+      const int pending_at_entry = remaining[aoi];
+      int served_in_block = 0;
+      while (i < trip.served.size() &&
+             trip.served[i].order.aoi_id == aoi) {
+        ++served_in_block;
+        --remaining[aoi];
+        ++i;
+      }
+      completeness_sum +=
+          static_cast<double>(served_in_block) / pending_at_entry;
+      if (served_in_block == pending_at_entry) ++complete_blocks;
+      ++out.blocks;
+    }
+  }
+  if (out.blocks > 0) {
+    out.mean_block_completeness = completeness_sum / out.blocks;
+    out.complete_block_fraction =
+        static_cast<double>(complete_blocks) / out.blocks;
+  }
+  return out;
+}
+
+}  // namespace m2g::synth

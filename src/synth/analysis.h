@@ -1,0 +1,49 @@
+#ifndef M2G_SYNTH_ANALYSIS_H_
+#define M2G_SYNTH_ANALYSIS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "synth/order.h"
+
+namespace m2g::synth {
+
+/// Dataset analyses that verify the behavioural signals the paper's
+/// model depends on actually exist in the (synthetic) data. Printed by
+/// bench_fig4_data next to the §V-A transfer statistics.
+
+/// How habitual couriers' AOI orderings are: for every courier and every
+/// AOI pair (a, b) they visited together in at least two trips, the
+/// fraction of trips agreeing with that courier's majority direction.
+/// 1.0 = the courier always visits the pair in the same order; 0.5 =
+/// coin-flip (no habit).
+struct HabitConsistency {
+  double mean_pair_consistency = 0;
+  int couriers_measured = 0;
+  int64_t pairs_measured = 0;
+};
+HabitConsistency ComputeHabitConsistency(
+    const std::vector<TripRecord>& trips);
+
+/// Deadline compliance of the realized service (how often couriers
+/// arrive before the promised deadline) plus slack statistics.
+struct DeadlineStats {
+  int64_t orders = 0;
+  double on_time_fraction = 0;
+  double mean_slack_min = 0;  // deadline - arrival (can be negative)
+};
+DeadlineStats ComputeDeadlineStats(const std::vector<TripRecord>& trips);
+
+/// Distribution of AOI "sweep completeness": for each AOI visit block,
+/// the fraction of that AOI's pending orders served before leaving it.
+/// 1.0 everywhere = perfect high-level transfer mode.
+struct SweepStats {
+  int64_t blocks = 0;
+  double mean_block_completeness = 0;
+  double complete_block_fraction = 0;  // blocks finishing their AOI
+};
+SweepStats ComputeSweepStats(const std::vector<TripRecord>& trips);
+
+}  // namespace m2g::synth
+
+#endif  // M2G_SYNTH_ANALYSIS_H_

@@ -1,0 +1,58 @@
+#include "synth/courier.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace m2g::synth {
+
+std::vector<CourierProfile> GenerateCouriers(const World& world,
+                                             const CourierConfig& config,
+                                             Rng* rng) {
+  std::vector<CourierProfile> couriers;
+  couriers.reserve(config.num_couriers);
+  for (int i = 0; i < config.num_couriers; ++i) {
+    CourierProfile c;
+    c.id = i;
+    c.avg_working_hours = rng->Uniform(6.0, 10.0);
+    c.avg_speed_mps = rng->Uniform(2.8, 5.2);
+    c.attendance = rng->Uniform(0.80, 1.0);
+    c.service_time_mean_min = rng->Uniform(2.2, 5.0);
+    c.home_district =
+        rng->UniformInt(0, world.config().num_districts - 1);
+
+    // Serve AOIs from the home district first, then neighbours if needed.
+    std::vector<int> pool = world.AoisInDistrict(c.home_district);
+    int want = rng->UniformInt(config.min_aois_served,
+                               config.max_aois_served);
+    rng->Shuffle(&pool);
+    if (static_cast<int>(pool.size()) < want) {
+      // Spill into other districts deterministically.
+      for (int a = 0; a < world.num_aois() &&
+                      static_cast<int>(pool.size()) < want;
+           ++a) {
+        if (world.aoi(a).district != c.home_district) pool.push_back(a);
+      }
+    }
+    pool.resize(std::min<size_t>(pool.size(), static_cast<size_t>(want)));
+    std::sort(pool.begin(), pool.end());
+    c.served_aois = pool;
+    c.aoi_preference.reserve(pool.size());
+    for (size_t k = 0; k < pool.size(); ++k) {
+      c.aoi_preference.push_back(rng->NextDouble());
+    }
+    couriers.push_back(std::move(c));
+  }
+  return couriers;
+}
+
+double AoiPreference(const CourierProfile& courier, int aoi_id) {
+  auto it = std::lower_bound(courier.served_aois.begin(),
+                             courier.served_aois.end(), aoi_id);
+  if (it == courier.served_aois.end() || *it != aoi_id) return 0.5;
+  const size_t idx =
+      static_cast<size_t>(it - courier.served_aois.begin());
+  return courier.aoi_preference[idx];
+}
+
+}  // namespace m2g::synth

@@ -1,0 +1,47 @@
+#ifndef M2G_SYNTH_COURIER_H_
+#define M2G_SYNTH_COURIER_H_
+
+#include <vector>
+
+#include "synth/world.h"
+
+namespace m2g::synth {
+
+/// A courier's static profile. The first three fields are the paper's
+/// global features (Eq. 17): average working hours, average driving speed,
+/// attendance over the last two months. `aoi_preference` encodes the
+/// habitual high-level transfer mode: a per-courier priority score over the
+/// AOIs the courier serves — couriers tend to visit low-priority-score AOIs
+/// earlier, which is exactly the "he always visits AOI A first, then AOI B"
+/// pattern of Figure 1.
+struct CourierProfile {
+  int id = 0;
+  double avg_working_hours = 8.0;
+  double avg_speed_mps = 3.8;    // e-bike city speed
+  double attendance = 0.95;      // [0, 1]
+  double service_time_mean_min = 3.0;  // time spent at one location
+  int home_district = 0;
+  std::vector<int> served_aois;         // AOIs this courier covers
+  std::vector<double> aoi_preference;   // parallel to served_aois, in [0,1)
+};
+
+struct CourierConfig {
+  int num_couriers = 30;
+  int min_aois_served = 10;
+  int max_aois_served = 24;
+};
+
+/// Generates courier profiles over the world's AOIs. Each courier serves a
+/// contiguous set of AOIs (its home district plus spill-over) and carries a
+/// deterministic habitual ordering over them.
+std::vector<CourierProfile> GenerateCouriers(const World& world,
+                                             const CourierConfig& config,
+                                             Rng* rng);
+
+/// Preference score of `aoi_id` for this courier; lower means "visited
+/// earlier by habit". Unserved AOIs get a neutral 0.5.
+double AoiPreference(const CourierProfile& courier, int aoi_id);
+
+}  // namespace m2g::synth
+
+#endif  // M2G_SYNTH_COURIER_H_

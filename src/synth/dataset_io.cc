@@ -1,0 +1,285 @@
+#include "synth/dataset_io.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+
+namespace m2g::synth {
+namespace {
+
+constexpr uint32_t kDatasetMagic = 0x4D324744;  // "M2GD"
+constexpr uint32_t kSplitsMagic = 0x4D324753;   // "M2GS"
+constexpr uint32_t kVersion = 1;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+class Writer {
+ public:
+  explicit Writer(std::FILE* f) : f_(f) {}
+  bool ok() const { return ok_; }
+
+  void U32(uint32_t v) { Raw(&v, sizeof(v)); }
+  void I32(int32_t v) { Raw(&v, sizeof(v)); }
+  void F64(double v) { Raw(&v, sizeof(v)); }
+  void IntVec(const std::vector<int>& v) {
+    U32(static_cast<uint32_t>(v.size()));
+    for (int x : v) I32(x);
+  }
+  void DoubleVec(const std::vector<double>& v) {
+    U32(static_cast<uint32_t>(v.size()));
+    for (double x : v) F64(x);
+  }
+
+ private:
+  void Raw(const void* data, size_t n) {
+    ok_ = ok_ && std::fwrite(data, 1, n, f_) == n;
+  }
+  std::FILE* f_;
+  bool ok_ = true;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::FILE* f) : f_(f) {}
+  bool ok() const { return ok_; }
+
+  uint32_t U32() {
+    uint32_t v = 0;
+    Raw(&v, sizeof(v));
+    return v;
+  }
+  int32_t I32() {
+    int32_t v = 0;
+    Raw(&v, sizeof(v));
+    return v;
+  }
+  double F64() {
+    double v = 0;
+    Raw(&v, sizeof(v));
+    return v;
+  }
+  std::vector<int> IntVec() {
+    const uint32_t n = U32();
+    if (!ok_ || n > (1u << 24)) {
+      ok_ = false;
+      return {};
+    }
+    std::vector<int> v(n);
+    for (uint32_t i = 0; i < n; ++i) v[i] = I32();
+    return v;
+  }
+  std::vector<double> DoubleVec() {
+    const uint32_t n = U32();
+    if (!ok_ || n > (1u << 24)) {
+      ok_ = false;
+      return {};
+    }
+    std::vector<double> v(n);
+    for (uint32_t i = 0; i < n; ++i) v[i] = F64();
+    return v;
+  }
+
+ private:
+  void Raw(void* data, size_t n) {
+    ok_ = ok_ && std::fread(data, 1, n, f_) == n;
+  }
+  std::FILE* f_;
+  bool ok_ = true;
+};
+
+void WriteCourier(Writer* w, const CourierProfile& c) {
+  w->I32(c.id);
+  w->F64(c.avg_working_hours);
+  w->F64(c.avg_speed_mps);
+  w->F64(c.attendance);
+  w->F64(c.service_time_mean_min);
+  w->I32(c.home_district);
+  w->IntVec(c.served_aois);
+  std::vector<double> prefs(c.aoi_preference.begin(),
+                            c.aoi_preference.end());
+  w->DoubleVec(prefs);
+}
+
+CourierProfile ReadCourier(Reader* r) {
+  CourierProfile c;
+  c.id = r->I32();
+  c.avg_working_hours = r->F64();
+  c.avg_speed_mps = r->F64();
+  c.attendance = r->F64();
+  c.service_time_mean_min = r->F64();
+  c.home_district = r->I32();
+  c.served_aois = r->IntVec();
+  c.aoi_preference = r->DoubleVec();
+  return c;
+}
+
+void WriteSample(Writer* w, const Sample& s) {
+  w->I32(s.courier_id);
+  w->I32(s.day);
+  w->I32(s.weekday);
+  w->I32(s.weather);
+  w->F64(s.query_time_min);
+  w->F64(s.courier_pos.lat);
+  w->F64(s.courier_pos.lng);
+  WriteCourier(w, s.courier);
+  w->U32(static_cast<uint32_t>(s.locations.size()));
+  for (const LocationTask& t : s.locations) {
+    w->I32(t.order_id);
+    w->F64(t.pos.lat);
+    w->F64(t.pos.lng);
+    w->I32(t.aoi_id);
+    w->I32(t.aoi_type);
+    w->F64(t.accept_time_min);
+    w->F64(t.deadline_min);
+    w->F64(t.dist_from_courier_m);
+  }
+  w->IntVec(s.aoi_node_ids);
+  w->IntVec(s.loc_to_aoi);
+  w->IntVec(s.route_label);
+  w->DoubleVec(s.time_label_min);
+  w->IntVec(s.aoi_route_label);
+  w->DoubleVec(s.aoi_time_label_min);
+}
+
+Sample ReadSample(Reader* r) {
+  Sample s;
+  s.courier_id = r->I32();
+  s.day = r->I32();
+  s.weekday = r->I32();
+  s.weather = r->I32();
+  s.query_time_min = r->F64();
+  s.courier_pos.lat = r->F64();
+  s.courier_pos.lng = r->F64();
+  s.courier = ReadCourier(r);
+  const uint32_t n = r->U32();
+  if (!r->ok() || n > (1u << 20)) return s;
+  s.locations.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    LocationTask t;
+    t.order_id = r->I32();
+    t.pos.lat = r->F64();
+    t.pos.lng = r->F64();
+    t.aoi_id = r->I32();
+    t.aoi_type = r->I32();
+    t.accept_time_min = r->F64();
+    t.deadline_min = r->F64();
+    t.dist_from_courier_m = r->F64();
+    s.locations.push_back(t);
+  }
+  s.aoi_node_ids = r->IntVec();
+  s.loc_to_aoi = r->IntVec();
+  s.route_label = r->IntVec();
+  s.time_label_min = r->DoubleVec();
+  s.aoi_route_label = r->IntVec();
+  s.aoi_time_label_min = r->DoubleVec();
+  return s;
+}
+
+Status WriteDatasetBody(Writer* w, const Dataset& dataset,
+                        const std::string& path) {
+  w->U32(static_cast<uint32_t>(dataset.samples.size()));
+  for (const Sample& s : dataset.samples) WriteSample(w, s);
+  if (!w->ok()) return Status::IoError("short write: " + path);
+  return Status::Ok();
+}
+
+Result<Dataset> ReadDatasetBody(Reader* r, const std::string& path) {
+  Dataset out;
+  const uint32_t count = r->U32();
+  if (!r->ok() || count > (1u << 24)) {
+    return Status::InvalidArgument("corrupt dataset header in " + path);
+  }
+  out.samples.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    out.samples.push_back(ReadSample(r));
+    if (!r->ok()) {
+      return Status::IoError("truncated sample record in " + path);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Status SaveDataset(const Dataset& dataset, const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) return Status::IoError("cannot open for write: " + path);
+  Writer w(f.get());
+  w.U32(kDatasetMagic);
+  w.U32(kVersion);
+  return WriteDatasetBody(&w, dataset, path);
+}
+
+Result<Dataset> LoadDataset(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) return Status::NotFound("no dataset at " + path);
+  Reader r(f.get());
+  if (r.U32() != kDatasetMagic || r.U32() != kVersion || !r.ok()) {
+    return Status::InvalidArgument("not an m2g dataset file: " + path);
+  }
+  return ReadDatasetBody(&r, path);
+}
+
+Status SaveSplits(const DatasetSplits& splits, const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) return Status::IoError("cannot open for write: " + path);
+  Writer w(f.get());
+  w.U32(kSplitsMagic);
+  w.U32(kVersion);
+  for (const Dataset* ds : {&splits.train, &splits.val, &splits.test}) {
+    M2G_RETURN_IF_ERROR(WriteDatasetBody(&w, *ds, path));
+  }
+  return Status::Ok();
+}
+
+Result<DatasetSplits> LoadSplits(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) return Status::NotFound("no splits at " + path);
+  Reader r(f.get());
+  if (r.U32() != kSplitsMagic || r.U32() != kVersion || !r.ok()) {
+    return Status::InvalidArgument("not an m2g splits file: " + path);
+  }
+  DatasetSplits out;
+  for (Dataset* ds : {&out.train, &out.val, &out.test}) {
+    Result<Dataset> part = ReadDatasetBody(&r, path);
+    if (!part.ok()) return part.status();
+    *ds = std::move(part).value();
+  }
+  return out;
+}
+
+Status ExportLocationsCsv(const Dataset& dataset, const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "w"));
+  if (!f) return Status::IoError("cannot open for write: " + path);
+  std::fprintf(f.get(),
+               "sample,courier_id,day,weekday,weather,query_time_min,"
+               "order_id,lat,lng,aoi_id,aoi_type,accept_time_min,"
+               "deadline_min,dist_from_courier_m,route_rank,"
+               "arrival_gap_min\n");
+  for (size_t si = 0; si < dataset.samples.size(); ++si) {
+    const Sample& s = dataset.samples[si];
+    std::vector<int> rank(s.num_locations(), -1);
+    for (size_t j = 0; j < s.route_label.size(); ++j) {
+      rank[s.route_label[j]] = static_cast<int>(j);
+    }
+    for (int i = 0; i < s.num_locations(); ++i) {
+      const LocationTask& t = s.locations[i];
+      std::fprintf(f.get(),
+                   "%zu,%d,%d,%d,%d,%.3f,%d,%.6f,%.6f,%d,%d,%.3f,%.3f,"
+                   "%.1f,%d,%.3f\n",
+                   si, s.courier_id, s.day, s.weekday, s.weather,
+                   s.query_time_min, t.order_id, t.pos.lat, t.pos.lng,
+                   t.aoi_id, t.aoi_type, t.accept_time_min,
+                   t.deadline_min, t.dist_from_courier_m, rank[i],
+                   s.time_label_min.empty() ? 0.0 : s.time_label_min[i]);
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace m2g::synth

@@ -1,0 +1,27 @@
+#ifndef M2G_SYNTH_DATASET_IO_H_
+#define M2G_SYNTH_DATASET_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "synth/dataset.h"
+
+namespace m2g::synth {
+
+/// Binary (de)serialization of datasets so expensive simulations can be
+/// generated once and shared across benches / external tooling, and so
+/// users can swap in their own data by writing this format.
+
+Status SaveDataset(const Dataset& dataset, const std::string& path);
+Result<Dataset> LoadDataset(const std::string& path);
+
+Status SaveSplits(const DatasetSplits& splits, const std::string& path);
+Result<DatasetSplits> LoadSplits(const std::string& path);
+
+/// CSV export of the per-location rows (one row per (sample, location))
+/// for offline analysis in any external tool.
+Status ExportLocationsCsv(const Dataset& dataset, const std::string& path);
+
+}  // namespace m2g::synth
+
+#endif  // M2G_SYNTH_DATASET_IO_H_

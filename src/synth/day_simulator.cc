@@ -1,0 +1,136 @@
+#include "synth/day_simulator.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace m2g::synth {
+
+std::vector<TripRecord> DaySimulator::SimulateDay(
+    const CourierProfile& courier, int day, int weather, Rng* rng,
+    int* next_order_id) const {
+  std::vector<TripRecord> trips;
+  if (!rng->Bernoulli(courier.attendance)) return trips;  // absent today
+
+  const int num_trips =
+      rng->UniformInt(config_.min_trips_per_day, config_.max_trips_per_day);
+  // Spread trip starts across the working day.
+  std::vector<double> starts;
+  for (int t = 0; t < num_trips; ++t) {
+    starts.push_back(rng->Uniform(config_.earliest_trip_start_min,
+                                  config_.latest_trip_start_min));
+  }
+  std::sort(starts.begin(), starts.end());
+  for (double s : starts) {
+    trips.push_back(
+        SimulateTrip(courier, day, weather, s, rng, next_order_id));
+  }
+  return trips;
+}
+
+TripRecord DaySimulator::SimulateTrip(const CourierProfile& courier, int day,
+                                      int weather, double start_min,
+                                      Rng* rng, int* next_order_id) const {
+  TripRecord trip;
+  trip.courier_id = courier.id;
+  trip.day = day;
+  trip.weekday = day % 7;
+  trip.weather = weather;
+  trip.start_time_min = start_min;
+
+  // Which AOIs this trip touches: a habit-weighted draw from the courier's
+  // coverage (habitually-early AOIs show up a bit more often, mimicking
+  // morning batches).
+  M2G_CHECK(!courier.served_aois.empty());
+  std::vector<int> pool = courier.served_aois;
+  rng->Shuffle(&pool);
+  const int want_aois = std::min<int>(
+      static_cast<int>(pool.size()),
+      rng->UniformInt(config_.min_aois_per_trip, config_.max_aois_per_trip));
+  pool.resize(want_aois);
+
+  // The courier starts from near the first habitually-preferred AOI
+  // (e.g., the depot / last drop-off). Computed before the orders so the
+  // platform's promised deadlines can depend on travel from here.
+  int start_aoi = pool[0];
+  double best_pref = 1e18;
+  for (int aoi_id : pool) {
+    const double pref = AoiPreference(courier, aoi_id);
+    if (pref < best_pref) {
+      best_pref = pref;
+      start_aoi = aoi_id;
+    }
+  }
+  trip.start_pos = geo::OffsetMeters(world_->aoi(start_aoi).center,
+                                     rng->Gaussian(0, 400.0),
+                                     rng->Gaussian(0, 400.0));
+
+  // The promised deadline = accept + base window + an ETA-style term
+  // proportional to the expected travel from the trip start.
+  auto make_order = [&](int aoi_id) {
+    Order o;
+    o.id = (*next_order_id)++;
+    o.aoi_id = aoi_id;
+    o.pos = world_->SamplePointInAoi(aoi_id, rng);
+    // Orders trickled in during the previous ~45 minutes.
+    o.accept_time_min = start_min - rng->Uniform(0.0, 45.0);
+    const double promise_travel =
+        config_.deadline_travel_factor *
+        time_model_->ExpectedTravelMinutes(courier, trip.start_pos, o.pos,
+                                           weather, trip.weekday);
+    o.deadline_min =
+        o.accept_time_min +
+        rng->Uniform(config_.min_deadline_window_min,
+                     config_.max_deadline_window_min) +
+        promise_travel;
+    return o;
+  };
+
+  // Orders per AOI: 1 + Geometric(extra_location_p), capped.
+  std::vector<Order> orders;
+  for (int aoi_id : pool) {
+    int count = 1;
+    while (count < config_.max_locations_per_aoi &&
+           rng->Bernoulli(config_.extra_location_p)) {
+      ++count;
+    }
+    for (int k = 0; k < count; ++k) {
+      if (static_cast<int>(orders.size()) >=
+          config_.max_locations_per_trip) {
+        break;
+      }
+      orders.push_back(make_order(aoi_id));
+    }
+  }
+  // Ensure a minimum batch size by topping up the first AOI.
+  while (static_cast<int>(orders.size()) < config_.min_locations_per_trip) {
+    orders.push_back(make_order(pool[0]));
+  }
+
+  // Serve everything with the behavioural policy + physical time model.
+  std::vector<Order> pending = orders;
+  geo::LatLng pos = trip.start_pos;
+  double now = start_min;
+  int current_aoi = -1;
+  while (!pending.empty()) {
+    const int pick =
+        policy_->PickNext(courier, pos, now, current_aoi, pending,
+                          weather, trip.weekday, rng);
+    const Order chosen = pending[pick];
+    pending.erase(pending.begin() + pick);
+    now += time_model_->SampleTravelMinutes(courier, pos, chosen.pos,
+                                            weather, trip.weekday, rng);
+    ServedOrder served;
+    served.order = chosen;
+    served.arrival_time_min = now;
+    now += time_model_->SampleServiceMinutes(
+        courier, world_->aoi(chosen.aoi_id), rng);
+    served.departure_time_min = now;
+    trip.served.push_back(served);
+    pos = chosen.pos;
+    current_aoi = chosen.aoi_id;
+  }
+  return trip;
+}
+
+}  // namespace m2g::synth

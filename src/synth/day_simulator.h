@@ -1,0 +1,67 @@
+#ifndef M2G_SYNTH_DAY_SIMULATOR_H_
+#define M2G_SYNTH_DAY_SIMULATOR_H_
+
+#include <vector>
+
+#include "synth/route_policy.h"
+
+namespace m2g::synth {
+
+struct TripConfig {
+  /// Trips per courier-day (subject to attendance).
+  int min_trips_per_day = 1;
+  int max_trips_per_day = 3;
+  /// AOIs per trip; tuned so that per-sample counts match Figure 4
+  /// (mean ~4 AOIs, ~7.6 locations).
+  int min_aois_per_trip = 2;
+  int max_aois_per_trip = 7;
+  /// Locations per AOI ~ 1 + Geometric; capped.
+  double extra_location_p = 0.45;
+  int max_locations_per_aoi = 6;
+  int max_locations_per_trip = 20;
+  int min_locations_per_trip = 3;
+  /// Promised deadline window after accept, minutes. The platform's
+  /// promise also scales with how far the order is from the courier's
+  /// trip start (an ETA-based promise), so deadlines carry genuine
+  /// ordering signal — this is what makes Time-Greedy a reasonable
+  /// baseline, as in the paper.
+  double min_deadline_window_min = 100.0;
+  double max_deadline_window_min = 140.0;
+  double deadline_travel_factor = 3.0;
+  /// Working day span (minutes from day start) in which trips begin.
+  double earliest_trip_start_min = 8.5 * 60;
+  double latest_trip_start_min = 17.0 * 60;
+};
+
+/// Simulates a full day of one courier: order arrival, trip formation, and
+/// the realized service sequence with arrival times.
+class DaySimulator {
+ public:
+  DaySimulator(const World* world, const TimeModel* time_model,
+               const RoutePolicy* policy, const TripConfig& config)
+      : world_(world),
+        time_model_(time_model),
+        policy_(policy),
+        config_(config) {}
+
+  /// Runs one courier-day; returns zero or more trips (zero if the courier
+  /// is absent that day). `next_order_id` is advanced for globally unique
+  /// order ids.
+  std::vector<TripRecord> SimulateDay(const CourierProfile& courier, int day,
+                                      int weather, Rng* rng,
+                                      int* next_order_id) const;
+
+ private:
+  TripRecord SimulateTrip(const CourierProfile& courier, int day,
+                          int weather, double start_min, Rng* rng,
+                          int* next_order_id) const;
+
+  const World* world_;
+  const TimeModel* time_model_;
+  const RoutePolicy* policy_;
+  TripConfig config_;
+};
+
+}  // namespace m2g::synth
+
+#endif  // M2G_SYNTH_DAY_SIMULATOR_H_

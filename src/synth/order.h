@@ -1,0 +1,40 @@
+#ifndef M2G_SYNTH_ORDER_H_
+#define M2G_SYNTH_ORDER_H_
+
+#include <vector>
+
+#include "geo/latlng.h"
+
+namespace m2g::synth {
+
+/// One pick-up order = one location to visit (Definition 1). Times are in
+/// minutes since the start of the working day.
+struct Order {
+  int id = 0;
+  geo::LatLng pos;
+  int aoi_id = 0;
+  double accept_time_min = 0.0;  // when the platform dispatched it
+  double deadline_min = 0.0;     // promised arrival deadline
+};
+
+/// An order together with its simulated ground-truth service record.
+struct ServedOrder {
+  Order order;
+  double arrival_time_min = 0.0;    // courier arrives at the location
+  double departure_time_min = 0.0;  // arrival + service time
+};
+
+/// The ground truth of one courier trip: orders in actual service sequence.
+struct TripRecord {
+  int courier_id = 0;
+  int day = 0;
+  int weekday = 0;  // 0..6
+  int weather = 0;  // 0..3 (clear, cloudy, rain, storm)
+  double start_time_min = 0.0;
+  geo::LatLng start_pos;
+  std::vector<ServedOrder> served;  // in visit order
+};
+
+}  // namespace m2g::synth
+
+#endif  // M2G_SYNTH_ORDER_H_

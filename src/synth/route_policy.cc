@@ -1,0 +1,110 @@
+#include "synth/route_policy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/check.h"
+
+namespace m2g::synth {
+namespace {
+
+/// Samples an index with probability softmax(-score / temp); temp <= 0
+/// degenerates to argmin.
+int SampleByNegScore(const std::vector<double>& scores, double temp,
+                     Rng* rng) {
+  M2G_CHECK(!scores.empty());
+  if (temp <= 0.0) {
+    return static_cast<int>(
+        std::min_element(scores.begin(), scores.end()) - scores.begin());
+  }
+  const double min_s = *std::min_element(scores.begin(), scores.end());
+  std::vector<double> weights(scores.size());
+  for (size_t i = 0; i < scores.size(); ++i) {
+    weights[i] = std::exp(-(scores[i] - min_s) / temp);
+  }
+  return rng->SampleIndex(weights);
+}
+
+}  // namespace
+
+int RoutePolicy::PickNext(const CourierProfile& courier,
+                          const geo::LatLng& courier_pos, double now_min,
+                          int current_aoi, const std::vector<Order>& pending,
+                          int weather, int weekday, Rng* rng) const {
+  M2G_CHECK(!pending.empty());
+
+  // Helper: pick an order among `candidates` (indices into pending) by
+  // distance + urgency.
+  // The courier reasons in travel *minutes*, not raw distance, so weather
+  // and weekday shape the realized route too.
+  auto travel_min = [&](const geo::LatLng& to) {
+    return time_model_->ExpectedTravelMinutes(courier, courier_pos, to,
+                                              weather, weekday);
+  };
+  auto pick_within = [&](const std::vector<int>& candidates) {
+    std::vector<double> scores(candidates.size());
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      const Order& o = pending[candidates[i]];
+      const double slack = o.deadline_min - now_min;
+      const double urgency = std::max(0.0, 1.0 - slack / 120.0);
+      scores[i] =
+          0.2 * travel_min(o.pos) + params_.intra_slack_weight * urgency;
+    }
+    return candidates[SampleByNegScore(scores, params_.intra_choice_temp,
+                                       rng)];
+  };
+
+  // 1. Critical-deadline override: rush to the most overdue order's AOI.
+  int critical = -1;
+  double worst_slack = params_.critical_slack_min;
+  for (size_t i = 0; i < pending.size(); ++i) {
+    const double slack = pending[i].deadline_min - now_min;
+    if (slack < worst_slack) {
+      worst_slack = slack;
+      critical = static_cast<int>(i);
+    }
+  }
+  if (critical >= 0) return critical;
+
+  // 2. Stay in the current AOI until it is finished (the high-level
+  //    transfer mode).
+  if (current_aoi >= 0 && rng->Bernoulli(params_.stay_in_aoi_prob)) {
+    std::vector<int> same_aoi;
+    for (size_t i = 0; i < pending.size(); ++i) {
+      if (pending[i].aoi_id == current_aoi) {
+        same_aoi.push_back(static_cast<int>(i));
+      }
+    }
+    if (!same_aoi.empty()) return pick_within(same_aoi);
+  }
+
+  // 3. Choose the next AOI by habit + proximity + deadline pressure.
+  std::map<int, std::vector<int>> by_aoi;  // ordered => deterministic
+  for (size_t i = 0; i < pending.size(); ++i) {
+    by_aoi[pending[i].aoi_id].push_back(static_cast<int>(i));
+  }
+  std::vector<int> aoi_ids;
+  std::vector<double> aoi_scores;
+  for (const auto& [aoi_id, members] : by_aoi) {
+    double min_travel = 1e18, min_slack = 1e18;
+    for (int idx : members) {
+      min_travel = std::min(min_travel, travel_min(pending[idx].pos));
+      min_slack =
+          std::min(min_slack, pending[idx].deadline_min - now_min);
+    }
+    const double urgency = std::max(0.0, 1.0 - min_slack / 120.0);
+    const double habit = AoiPreference(courier, aoi_id);
+    aoi_ids.push_back(aoi_id);
+    aoi_scores.push_back(params_.pref_weight * habit +
+                         params_.dist_weight * 0.2 * min_travel +
+                         params_.slack_weight * urgency);
+  }
+  const int chosen_aoi =
+      aoi_ids[SampleByNegScore(aoi_scores, params_.aoi_choice_temp, rng)];
+
+  // 4. Nearest-ish order inside the chosen AOI.
+  return pick_within(by_aoi[chosen_aoi]);
+}
+
+}  // namespace m2g::synth

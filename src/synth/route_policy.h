@@ -1,0 +1,60 @@
+#ifndef M2G_SYNTH_ROUTE_POLICY_H_
+#define M2G_SYNTH_ROUTE_POLICY_H_
+
+#include <vector>
+
+#include "synth/order.h"
+#include "synth/time_model.h"
+
+namespace m2g::synth {
+
+/// Behavioural model of how a real courier picks the next order. It plants
+/// the three signals the paper's evaluation depends on:
+///   1. AOI clustering — with probability `stay_in_aoi_prob` the courier
+///      finishes the current AOI before leaving it (high-level transfer
+///      mode, §I limitation 1 and the Figure 4 transfer-count analysis);
+///   2. habitual AOI orderings — the next AOI is chosen by a mix of the
+///      courier's personal preference score, proximity and deadline
+///      pressure;
+///   3. spatial-temporal trade-offs inside an AOI — nearest-first with
+///      deadline override, plus decision noise.
+class RoutePolicy {
+ public:
+  struct Params {
+    double stay_in_aoi_prob = 0.98;
+    /// Next-AOI score = pref_w * habit + dist_w * km + slack_w * urgency.
+    double pref_weight = 4.5;
+    double dist_weight = 0.35;   // per km
+    double slack_weight = 0.5;   // urgency = max(0, 1 - slack/120min)
+    /// Softmax temperature of the next-AOI choice (0 => argmin).
+    double aoi_choice_temp = 0.05;
+    /// Within an AOI: score = dist_km + intra_slack_weight * urgency.
+    double intra_slack_weight = 0.8;
+    double intra_choice_temp = 0.08;
+    /// If an order anywhere is overdue-critical (slack below this), the
+    /// courier breaks habit and rushes to its AOI.
+    double critical_slack_min = 5.0;
+  };
+
+  RoutePolicy(const TimeModel* time_model, const Params& params)
+      : time_model_(time_model), params_(params) {}
+  explicit RoutePolicy(const TimeModel* time_model)
+      : RoutePolicy(time_model, Params{}) {}
+
+  /// Picks the index (into `pending`) of the next order to serve.
+  /// `current_aoi` is the AOI of the last served order, -1 at trip start.
+  int PickNext(const CourierProfile& courier, const geo::LatLng& courier_pos,
+               double now_min, int current_aoi,
+               const std::vector<Order>& pending, int weather, int weekday,
+               Rng* rng) const;
+
+  const Params& params() const { return params_; }
+
+ private:
+  const TimeModel* time_model_;
+  Params params_;
+};
+
+}  // namespace m2g::synth
+
+#endif  // M2G_SYNTH_ROUTE_POLICY_H_

@@ -1,0 +1,44 @@
+#include "synth/time_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace m2g::synth {
+
+double TimeModel::ExpectedTravelMinutes(const CourierProfile& courier,
+                                        const geo::LatLng& from,
+                                        const geo::LatLng& to, int weather,
+                                        int weekday) const {
+  const double dist_m = geo::ApproxMeters(from, to);
+  // Street-network detour factor: straight-line x ~1.3.
+  const double road_m = dist_m * 1.3;
+  double minutes = road_m / courier.avg_speed_mps / 60.0;
+  minutes *= params_.weather_travel_mult[std::clamp(weather, 0,
+                                                    kNumWeatherCodes - 1)];
+  minutes *= params_.weekday_travel_mult[std::clamp(weekday, 0, 6)];
+  return minutes;
+}
+
+double TimeModel::SampleTravelMinutes(const CourierProfile& courier,
+                                      const geo::LatLng& from,
+                                      const geo::LatLng& to, int weather,
+                                      int weekday, Rng* rng) const {
+  const double expected =
+      ExpectedTravelMinutes(courier, from, to, weather, weekday);
+  const double noise =
+      std::max(0.4, rng->Gaussian(1.0, params_.travel_noise_frac));
+  return expected * noise;
+}
+
+double TimeModel::SampleServiceMinutes(const CourierProfile& courier,
+                                       const Aoi& aoi, Rng* rng) const {
+  const double type_mult =
+      params_.type_service_mult[static_cast<int>(aoi.type)];
+  const double base = courier.service_time_mean_min * type_mult;
+  const double noise =
+      std::max(0.25, rng->Gaussian(1.0, params_.service_noise_frac));
+  return params_.per_stop_overhead_min + aoi.access_overhead_min +
+         base * noise;
+}
+
+}  // namespace m2g::synth

@@ -1,0 +1,64 @@
+#ifndef M2G_SYNTH_TIME_MODEL_H_
+#define M2G_SYNTH_TIME_MODEL_H_
+
+#include "common/rng.h"
+#include "geo/latlng.h"
+#include "synth/courier.h"
+
+namespace m2g::synth {
+
+/// Weather codes used by the simulator and as a global model feature.
+inline constexpr int kNumWeatherCodes = 4;  // clear, cloudy, rain, storm
+
+/// Physical time model: how long travelling and serving actually take.
+/// This is what plants the route-time correlation the paper exploits —
+/// arrival times are a deterministic-plus-noise function of the route.
+class TimeModel {
+ public:
+  struct Params {
+    /// Multiplier on travel time per weather code.
+    double weather_travel_mult[kNumWeatherCodes] = {1.0, 1.05, 1.35, 1.7};
+    /// Weekend traffic is lighter; indexed by weekday (0 = Monday).
+    double weekday_travel_mult[7] = {1.1, 1.05, 1.05, 1.05, 1.15,
+                                     0.9,  0.85};
+    /// Lognormal-ish noise scale on each travel leg.
+    double travel_noise_frac = 0.12;
+    /// Gamma-ish noise on service time.
+    double service_noise_frac = 0.35;
+    /// Fixed overhead per stop (parking, finding the door), minutes.
+    double per_stop_overhead_min = 1.5;
+    /// Service-time multiplier per AOI type (offices/hospitals have gate
+    /// procedures; residential is fastest).
+    double type_service_mult[kNumAoiTypes] = {1.0, 1.35, 1.5,
+                                              1.15, 1.55, 1.1};
+  };
+
+  TimeModel() : params_(Params{}) {}
+  explicit TimeModel(const Params& params) : params_(params) {}
+
+  /// Expected travel minutes between two points for this courier/context
+  /// (no noise) — also used by heuristic baselines as their speed model.
+  double ExpectedTravelMinutes(const CourierProfile& courier,
+                               const geo::LatLng& from,
+                               const geo::LatLng& to, int weather,
+                               int weekday) const;
+
+  /// Noisy realized travel minutes.
+  double SampleTravelMinutes(const CourierProfile& courier,
+                             const geo::LatLng& from, const geo::LatLng& to,
+                             int weather, int weekday, Rng* rng) const;
+
+  /// Noisy realized service minutes at one location of `aoi`: courier
+  /// base rate x AOI-type multiplier + the AOI's latent access overhead.
+  double SampleServiceMinutes(const CourierProfile& courier,
+                              const Aoi& aoi, Rng* rng) const;
+
+  const Params& params() const { return params_; }
+
+ private:
+  Params params_;
+};
+
+}  // namespace m2g::synth
+
+#endif  // M2G_SYNTH_TIME_MODEL_H_

@@ -1,0 +1,111 @@
+#include "tensor/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace m2g {
+
+Matrix Matrix::Ones(int rows, int cols) { return Full(rows, cols, 1.0f); }
+
+Matrix Matrix::Full(int rows, int cols, float value) {
+  Matrix m(rows, cols);
+  m.Fill(value);
+  return m;
+}
+
+Matrix Matrix::Identity(int n) {
+  Matrix m(n, n);
+  for (int i = 0; i < n; ++i) m.At(i, i) = 1.0f;
+  return m;
+}
+
+Matrix Matrix::RowVector(const std::vector<float>& values) {
+  return Matrix(1, static_cast<int>(values.size()), values);
+}
+
+Matrix Matrix::Random(int rows, int cols, float lo, float hi, Rng* rng) {
+  Matrix m(rows, cols);
+  for (int i = 0; i < m.size(); ++i) {
+    m[i] = static_cast<float>(rng->Uniform(lo, hi));
+  }
+  return m;
+}
+
+void Matrix::Fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+void Matrix::AddInPlace(const Matrix& other) {
+  M2G_CHECK(SameShape(other));
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void Matrix::AddScaledInPlace(const Matrix& other, float scale) {
+  M2G_CHECK(SameShape(other));
+  for (size_t i = 0; i < data_.size(); ++i) {
+    data_[i] += scale * other.data_[i];
+  }
+}
+
+void Matrix::ScaleInPlace(float scale) {
+  for (float& v : data_) v *= scale;
+}
+
+float Matrix::Sum() const {
+  float s = 0.0f;
+  for (float v : data_) s += v;
+  return s;
+}
+
+float Matrix::Norm() const {
+  double s = 0.0;
+  for (float v : data_) s += static_cast<double>(v) * v;
+  return static_cast<float>(std::sqrt(s));
+}
+
+float Matrix::MaxAbs() const {
+  float m = 0.0f;
+  for (float v : data_) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+std::string Matrix::ToString() const {
+  std::string out = StrFormat("Matrix(%d x %d)\n", rows_, cols_);
+  for (int r = 0; r < rows_; ++r) {
+    for (int c = 0; c < cols_; ++c) {
+      out += StrFormat("%10.4f ", At(r, c));
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+Matrix MatMulRaw(const Matrix& a, const Matrix& b) {
+  M2G_CHECK_EQ(a.cols(), b.rows());
+  Matrix out(a.rows(), b.cols());
+  const int n = a.rows(), k = a.cols(), m = b.cols();
+  // i-k-j loop order: streams through b and out row-wise.
+  for (int i = 0; i < n; ++i) {
+    const float* arow = a.data() + static_cast<size_t>(i) * k;
+    float* orow = out.data() + static_cast<size_t>(i) * m;
+    for (int p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = b.data() + static_cast<size_t>(p) * m;
+      for (int j = 0; j < m; ++j) orow[j] += av * brow[j];
+    }
+  }
+  return out;
+}
+
+Matrix TransposeRaw(const Matrix& a) {
+  Matrix out(a.cols(), a.rows());
+  for (int r = 0; r < a.rows(); ++r) {
+    for (int c = 0; c < a.cols(); ++c) out.At(c, r) = a.At(r, c);
+  }
+  return out;
+}
+
+}  // namespace m2g

@@ -1,0 +1,97 @@
+#ifndef M2G_TENSOR_MATRIX_H_
+#define M2G_TENSOR_MATRIX_H_
+
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace m2g {
+
+/// Dense row-major float matrix. This is the only numeric container in the
+/// library: vectors are (1 x d) or (n x 1) matrices, scalars are (1 x 1).
+/// All shapes in this codebase are tiny (n <= ~80 graph nodes, d <= ~128
+/// hidden units), so a simple contiguous buffer with exact O(n^3) kernels
+/// outperforms anything fancier and keeps results bit-reproducible.
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(int rows, int cols)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<size_t>(rows) * cols, 0.0f) {
+    M2G_CHECK_GE(rows, 0);
+    M2G_CHECK_GE(cols, 0);
+  }
+  Matrix(int rows, int cols, std::vector<float> data)
+      : rows_(rows), cols_(cols), data_(std::move(data)) {
+    M2G_CHECK_EQ(static_cast<size_t>(rows) * cols, data_.size());
+  }
+
+  static Matrix Zeros(int rows, int cols) { return Matrix(rows, cols); }
+  static Matrix Ones(int rows, int cols);
+  static Matrix Full(int rows, int cols, float value);
+  static Matrix Identity(int n);
+  /// Row vector (1 x values.size()).
+  static Matrix RowVector(const std::vector<float>& values);
+  /// Uniform random entries in [lo, hi).
+  static Matrix Random(int rows, int cols, float lo, float hi, Rng* rng);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  int size() const { return rows_ * cols_; }
+  bool empty() const { return data_.empty(); }
+
+  float& At(int r, int c) {
+    M2G_CHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+  float At(int r, int c) const {
+    M2G_CHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+  /// Unchecked flat access for kernels.
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  float& operator[](size_t i) { return data_[i]; }
+  float operator[](size_t i) const { return data_[i]; }
+
+  void Fill(float value);
+  void SetZero() { Fill(0.0f); }
+
+  /// this += other (same shape).
+  void AddInPlace(const Matrix& other);
+  /// this += scale * other (same shape).
+  void AddScaledInPlace(const Matrix& other, float scale);
+  /// this *= scale.
+  void ScaleInPlace(float scale);
+
+  /// Sum of all entries.
+  float Sum() const;
+  /// Frobenius norm.
+  float Norm() const;
+  /// Max-abs entry.
+  float MaxAbs() const;
+
+  bool SameShape(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  /// Multi-line debug rendering, e.g. for test failures.
+  std::string ToString() const;
+
+ private:
+  int rows_;
+  int cols_;
+  std::vector<float> data_;
+};
+
+/// out = a * b. Shapes (n,k) x (k,m) -> (n,m).
+Matrix MatMulRaw(const Matrix& a, const Matrix& b);
+
+/// out = a^T.
+Matrix TransposeRaw(const Matrix& a);
+
+}  // namespace m2g
+
+#endif  // M2G_TENSOR_MATRIX_H_

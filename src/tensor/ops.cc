@@ -1,0 +1,570 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace m2g {
+namespace {
+
+using internal::NewNode;
+using internal::TensorNode;
+using NodePtr = std::shared_ptr<TensorNode>;
+
+/// Finalizes an op node: wires parents, requires_grad, backward closure.
+Tensor MakeOp(NodePtr out, std::vector<NodePtr> parents,
+              std::function<void(TensorNode*)> backward) {
+  bool any = false;
+  for (const auto& p : parents) any = any || p->requires_grad;
+  out->parents = std::move(parents);
+  out->requires_grad = any;
+  if (any) out->backward_fn = std::move(backward);
+  return Tensor::FromNode(std::move(out));
+}
+
+/// Elementwise unary op helper: forward maps x->f(x); dfn(x, y) is f'(x)
+/// possibly expressed via the output y.
+template <typename F, typename DF>
+Tensor UnaryOp(const Tensor& a, F&& f, DF&& dfn) {
+  const Matrix& av = a.value();
+  Matrix out(av.rows(), av.cols());
+  for (int i = 0; i < av.size(); ++i) out[i] = f(av[i]);
+  NodePtr node = NewNode(std::move(out));
+  NodePtr an = a.node();
+  return MakeOp(node, {an}, [an, dfn](TensorNode* self) {
+    if (!an->requires_grad) return;
+    Matrix& g = an->EnsureGrad();
+    for (int i = 0; i < g.size(); ++i) {
+      g[i] += self->grad[i] * dfn(an->value[i], self->value[i]);
+    }
+  });
+}
+
+}  // namespace
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  NodePtr node = NewNode(MatMulRaw(a.value(), b.value()));
+  NodePtr an = a.node(), bn = b.node();
+  return MakeOp(node, {an, bn}, [an, bn](TensorNode* self) {
+    if (an->requires_grad) {
+      an->EnsureGrad().AddInPlace(
+          MatMulRaw(self->grad, TransposeRaw(bn->value)));
+    }
+    if (bn->requires_grad) {
+      bn->EnsureGrad().AddInPlace(
+          MatMulRaw(TransposeRaw(an->value), self->grad));
+    }
+  });
+}
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  M2G_CHECK(a.value().SameShape(b.value()));
+  Matrix out = a.value();
+  out.AddInPlace(b.value());
+  NodePtr node = NewNode(std::move(out));
+  NodePtr an = a.node(), bn = b.node();
+  return MakeOp(node, {an, bn}, [an, bn](TensorNode* self) {
+    if (an->requires_grad) an->EnsureGrad().AddInPlace(self->grad);
+    if (bn->requires_grad) bn->EnsureGrad().AddInPlace(self->grad);
+  });
+}
+
+Tensor AddRowBroadcast(const Tensor& a, const Tensor& row) {
+  const Matrix& av = a.value();
+  const Matrix& rv = row.value();
+  M2G_CHECK_EQ(rv.rows(), 1);
+  M2G_CHECK_EQ(av.cols(), rv.cols());
+  Matrix out = av;
+  for (int r = 0; r < out.rows(); ++r) {
+    for (int c = 0; c < out.cols(); ++c) out.At(r, c) += rv.At(0, c);
+  }
+  NodePtr node = NewNode(std::move(out));
+  NodePtr an = a.node(), rn = row.node();
+  return MakeOp(node, {an, rn}, [an, rn](TensorNode* self) {
+    if (an->requires_grad) an->EnsureGrad().AddInPlace(self->grad);
+    if (rn->requires_grad) {
+      Matrix& g = rn->EnsureGrad();
+      for (int r = 0; r < self->grad.rows(); ++r) {
+        for (int c = 0; c < self->grad.cols(); ++c) {
+          g.At(0, c) += self->grad.At(r, c);
+        }
+      }
+    }
+  });
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  M2G_CHECK(a.value().SameShape(b.value()));
+  Matrix out = a.value();
+  out.AddScaledInPlace(b.value(), -1.0f);
+  NodePtr node = NewNode(std::move(out));
+  NodePtr an = a.node(), bn = b.node();
+  return MakeOp(node, {an, bn}, [an, bn](TensorNode* self) {
+    if (an->requires_grad) an->EnsureGrad().AddInPlace(self->grad);
+    if (bn->requires_grad) {
+      bn->EnsureGrad().AddScaledInPlace(self->grad, -1.0f);
+    }
+  });
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  M2G_CHECK(a.value().SameShape(b.value()));
+  Matrix out = a.value();
+  for (int i = 0; i < out.size(); ++i) out[i] *= b.value()[i];
+  NodePtr node = NewNode(std::move(out));
+  NodePtr an = a.node(), bn = b.node();
+  return MakeOp(node, {an, bn}, [an, bn](TensorNode* self) {
+    if (an->requires_grad) {
+      Matrix& g = an->EnsureGrad();
+      for (int i = 0; i < g.size(); ++i) {
+        g[i] += self->grad[i] * bn->value[i];
+      }
+    }
+    if (bn->requires_grad) {
+      Matrix& g = bn->EnsureGrad();
+      for (int i = 0; i < g.size(); ++i) {
+        g[i] += self->grad[i] * an->value[i];
+      }
+    }
+  });
+}
+
+Tensor Scale(const Tensor& a, float s) {
+  Matrix out = a.value();
+  out.ScaleInPlace(s);
+  NodePtr node = NewNode(std::move(out));
+  NodePtr an = a.node();
+  return MakeOp(node, {an}, [an, s](TensorNode* self) {
+    if (an->requires_grad) an->EnsureGrad().AddScaledInPlace(self->grad, s);
+  });
+}
+
+Tensor AddScalar(const Tensor& a, float s) {
+  return UnaryOp(
+      a, [s](float x) { return x + s; },
+      [](float, float) { return 1.0f; });
+}
+
+Tensor Neg(const Tensor& a) { return Scale(a, -1.0f); }
+
+Tensor AddScalarTensor(const Tensor& a, const Tensor& s) {
+  M2G_CHECK_EQ(s.value().size(), 1);
+  Matrix out = a.value();
+  const float sv = s.value()[0];
+  for (int i = 0; i < out.size(); ++i) out[i] += sv;
+  NodePtr node = NewNode(std::move(out));
+  NodePtr an = a.node(), sn = s.node();
+  return MakeOp(node, {an, sn}, [an, sn](TensorNode* self) {
+    if (an->requires_grad) an->EnsureGrad().AddInPlace(self->grad);
+    if (sn->requires_grad) sn->EnsureGrad()[0] += self->grad.Sum();
+  });
+}
+
+Tensor BroadcastRows(const Tensor& row, int n) {
+  M2G_CHECK_EQ(row.rows(), 1);
+  return GatherRows(row, std::vector<int>(static_cast<size_t>(n), 0));
+}
+
+Tensor Exp(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return std::exp(x); },
+      [](float, float y) { return y; });
+}
+
+Tensor Log(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return std::log(x); },
+      [](float x, float) { return 1.0f / x; });
+}
+
+Tensor Abs(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return std::fabs(x); },
+      [](float x, float) { return x > 0 ? 1.0f : (x < 0 ? -1.0f : 0.0f); });
+}
+
+Tensor Sigmoid(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); },
+      [](float, float y) { return y * (1.0f - y); });
+}
+
+Tensor Tanh(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return std::tanh(x); },
+      [](float, float y) { return 1.0f - y * y; });
+}
+
+Tensor Relu(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return x > 0 ? x : 0.0f; },
+      [](float x, float) { return x > 0 ? 1.0f : 0.0f; });
+}
+
+Tensor LeakyRelu(const Tensor& a, float negative_slope) {
+  return UnaryOp(
+      a,
+      [negative_slope](float x) {
+        return x > 0 ? x : negative_slope * x;
+      },
+      [negative_slope](float x, float) {
+        return x > 0 ? 1.0f : negative_slope;
+      });
+}
+
+Tensor ConcatCols(const Tensor& a, const Tensor& b) {
+  const Matrix& av = a.value();
+  const Matrix& bv = b.value();
+  M2G_CHECK_EQ(av.rows(), bv.rows());
+  Matrix out(av.rows(), av.cols() + bv.cols());
+  for (int r = 0; r < out.rows(); ++r) {
+    for (int c = 0; c < av.cols(); ++c) out.At(r, c) = av.At(r, c);
+    for (int c = 0; c < bv.cols(); ++c) {
+      out.At(r, av.cols() + c) = bv.At(r, c);
+    }
+  }
+  NodePtr node = NewNode(std::move(out));
+  NodePtr an = a.node(), bn = b.node();
+  const int ac = av.cols(), bc = bv.cols();
+  return MakeOp(node, {an, bn}, [an, bn, ac, bc](TensorNode* self) {
+    if (an->requires_grad) {
+      Matrix& g = an->EnsureGrad();
+      for (int r = 0; r < g.rows(); ++r) {
+        for (int c = 0; c < ac; ++c) g.At(r, c) += self->grad.At(r, c);
+      }
+    }
+    if (bn->requires_grad) {
+      Matrix& g = bn->EnsureGrad();
+      for (int r = 0; r < g.rows(); ++r) {
+        for (int c = 0; c < bc; ++c) {
+          g.At(r, c) += self->grad.At(r, ac + c);
+        }
+      }
+    }
+  });
+}
+
+Tensor ConcatRows(const std::vector<Tensor>& parts) {
+  M2G_CHECK(!parts.empty());
+  const int cols = parts[0].cols();
+  int rows = 0;
+  for (const Tensor& p : parts) {
+    M2G_CHECK_EQ(p.cols(), cols);
+    rows += p.rows();
+  }
+  Matrix out(rows, cols);
+  int at = 0;
+  for (const Tensor& p : parts) {
+    const Matrix& pv = p.value();
+    for (int r = 0; r < pv.rows(); ++r) {
+      for (int c = 0; c < cols; ++c) out.At(at + r, c) = pv.At(r, c);
+    }
+    at += pv.rows();
+  }
+  NodePtr node = NewNode(std::move(out));
+  std::vector<NodePtr> parents;
+  parents.reserve(parts.size());
+  for (const Tensor& p : parts) parents.push_back(p.node());
+  std::vector<NodePtr> captured = parents;
+  return MakeOp(node, std::move(parents), [captured](TensorNode* self) {
+    int at = 0;
+    for (const NodePtr& p : captured) {
+      if (p->requires_grad) {
+        Matrix& g = p->EnsureGrad();
+        for (int r = 0; r < g.rows(); ++r) {
+          for (int c = 0; c < g.cols(); ++c) {
+            g.At(r, c) += self->grad.At(at + r, c);
+          }
+        }
+      }
+      at += p->value.rows();
+    }
+  });
+}
+
+Tensor SliceCols(const Tensor& a, int start, int len) {
+  const Matrix& av = a.value();
+  M2G_CHECK(start >= 0 && len >= 0 && start + len <= av.cols());
+  Matrix out(av.rows(), len);
+  for (int r = 0; r < av.rows(); ++r) {
+    for (int c = 0; c < len; ++c) out.At(r, c) = av.At(r, start + c);
+  }
+  NodePtr node = NewNode(std::move(out));
+  NodePtr an = a.node();
+  return MakeOp(node, {an}, [an, start, len](TensorNode* self) {
+    if (!an->requires_grad) return;
+    Matrix& g = an->EnsureGrad();
+    for (int r = 0; r < g.rows(); ++r) {
+      for (int c = 0; c < len; ++c) {
+        g.At(r, start + c) += self->grad.At(r, c);
+      }
+    }
+  });
+}
+
+Tensor SliceRows(const Tensor& a, int start, int len) {
+  const Matrix& av = a.value();
+  M2G_CHECK(start >= 0 && len >= 0 && start + len <= av.rows());
+  Matrix out(len, av.cols());
+  for (int r = 0; r < len; ++r) {
+    for (int c = 0; c < av.cols(); ++c) out.At(r, c) = av.At(start + r, c);
+  }
+  NodePtr node = NewNode(std::move(out));
+  NodePtr an = a.node();
+  return MakeOp(node, {an}, [an, start, len](TensorNode* self) {
+    if (!an->requires_grad) return;
+    Matrix& g = an->EnsureGrad();
+    for (int r = 0; r < len; ++r) {
+      for (int c = 0; c < g.cols(); ++c) {
+        g.At(start + r, c) += self->grad.At(r, c);
+      }
+    }
+  });
+}
+
+Tensor Row(const Tensor& a, int i) { return SliceRows(a, i, 1); }
+
+Tensor GatherRows(const Tensor& a, const std::vector<int>& indices) {
+  const Matrix& av = a.value();
+  Matrix out(static_cast<int>(indices.size()), av.cols());
+  for (size_t r = 0; r < indices.size(); ++r) {
+    M2G_CHECK(indices[r] >= 0 && indices[r] < av.rows());
+    for (int c = 0; c < av.cols(); ++c) {
+      out.At(static_cast<int>(r), c) = av.At(indices[r], c);
+    }
+  }
+  NodePtr node = NewNode(std::move(out));
+  NodePtr an = a.node();
+  return MakeOp(node, {an}, [an, indices](TensorNode* self) {
+    if (!an->requires_grad) return;
+    Matrix& g = an->EnsureGrad();
+    for (size_t r = 0; r < indices.size(); ++r) {
+      for (int c = 0; c < g.cols(); ++c) {
+        g.At(indices[r], c) += self->grad.At(static_cast<int>(r), c);
+      }
+    }
+  });
+}
+
+Tensor Sum(const Tensor& a) {
+  Matrix out(1, 1);
+  out[0] = a.value().Sum();
+  NodePtr node = NewNode(std::move(out));
+  NodePtr an = a.node();
+  return MakeOp(node, {an}, [an](TensorNode* self) {
+    if (!an->requires_grad) return;
+    Matrix& g = an->EnsureGrad();
+    const float d = self->grad[0];
+    for (int i = 0; i < g.size(); ++i) g[i] += d;
+  });
+}
+
+Tensor Mean(const Tensor& a) {
+  const float inv = 1.0f / static_cast<float>(a.value().size());
+  return Scale(Sum(a), inv);
+}
+
+Tensor SumRows(const Tensor& a) {
+  const Matrix& av = a.value();
+  Matrix out(1, av.cols());
+  for (int r = 0; r < av.rows(); ++r) {
+    for (int c = 0; c < av.cols(); ++c) out.At(0, c) += av.At(r, c);
+  }
+  NodePtr node = NewNode(std::move(out));
+  NodePtr an = a.node();
+  return MakeOp(node, {an}, [an](TensorNode* self) {
+    if (!an->requires_grad) return;
+    Matrix& g = an->EnsureGrad();
+    for (int r = 0; r < g.rows(); ++r) {
+      for (int c = 0; c < g.cols(); ++c) g.At(r, c) += self->grad.At(0, c);
+    }
+  });
+}
+
+Tensor Transpose(const Tensor& a) {
+  NodePtr node = NewNode(TransposeRaw(a.value()));
+  NodePtr an = a.node();
+  return MakeOp(node, {an}, [an](TensorNode* self) {
+    if (!an->requires_grad) return;
+    an->EnsureGrad().AddInPlace(TransposeRaw(self->grad));
+  });
+}
+
+Tensor MaskedSoftmaxRow(const Tensor& logits, const std::vector<bool>& mask) {
+  const Matrix& lv = logits.value();
+  M2G_CHECK_EQ(lv.rows(), 1);
+  M2G_CHECK_EQ(static_cast<size_t>(lv.cols()), mask.size());
+  float max_v = -std::numeric_limits<float>::infinity();
+  bool any = false;
+  for (int i = 0; i < lv.cols(); ++i) {
+    if (mask[i]) {
+      any = true;
+      max_v = std::max(max_v, lv[i]);
+    }
+  }
+  M2G_CHECK_MSG(any, "MaskedSoftmaxRow: all positions masked");
+  Matrix out(1, lv.cols());
+  double denom = 0;
+  for (int i = 0; i < lv.cols(); ++i) {
+    if (mask[i]) {
+      out[i] = std::exp(lv[i] - max_v);
+      denom += out[i];
+    }
+  }
+  for (int i = 0; i < lv.cols(); ++i) {
+    out[i] = mask[i] ? static_cast<float>(out[i] / denom) : 0.0f;
+  }
+  NodePtr node = NewNode(std::move(out));
+  NodePtr ln = logits.node();
+  return MakeOp(node, {ln}, [ln, mask](TensorNode* self) {
+    if (!ln->requires_grad) return;
+    // dL/dx_i = y_i * (g_i - sum_j g_j y_j), restricted to the mask.
+    Matrix& g = ln->EnsureGrad();
+    double dot = 0;
+    for (int i = 0; i < g.cols(); ++i) {
+      if (mask[i]) dot += self->grad[i] * self->value[i];
+    }
+    for (int i = 0; i < g.cols(); ++i) {
+      if (mask[i]) {
+        g[i] += self->value[i] *
+                (self->grad[i] - static_cast<float>(dot));
+      }
+    }
+  });
+}
+
+Tensor MaskedCrossEntropy(const Tensor& logits, int target,
+                          const std::vector<bool>& mask) {
+  const Matrix& lv = logits.value();
+  M2G_CHECK_EQ(lv.rows(), 1);
+  M2G_CHECK_EQ(static_cast<size_t>(lv.cols()), mask.size());
+  M2G_CHECK(target >= 0 && target < lv.cols());
+  M2G_CHECK_MSG(mask[target], "MaskedCrossEntropy: target is masked out");
+  float max_v = -std::numeric_limits<float>::infinity();
+  for (int i = 0; i < lv.cols(); ++i) {
+    if (mask[i]) max_v = std::max(max_v, lv[i]);
+  }
+  double denom = 0;
+  for (int i = 0; i < lv.cols(); ++i) {
+    if (mask[i]) denom += std::exp(lv[i] - max_v);
+  }
+  const float log_z = max_v + static_cast<float>(std::log(denom));
+  Matrix out(1, 1);
+  out[0] = log_z - lv[target];
+  NodePtr node = NewNode(std::move(out));
+  NodePtr ln = logits.node();
+  return MakeOp(node, {ln}, [ln, target, mask, max_v,
+                             denom](TensorNode* self) {
+    if (!ln->requires_grad) return;
+    // dL/dx_i = softmax_i - [i == target], over the mask.
+    Matrix& g = ln->EnsureGrad();
+    const float d = self->grad[0];
+    for (int i = 0; i < g.cols(); ++i) {
+      if (!mask[i]) continue;
+      const float p =
+          static_cast<float>(std::exp(ln->value[i] - max_v) / denom);
+      g[i] += d * (p - (i == target ? 1.0f : 0.0f));
+    }
+  });
+}
+
+Tensor L1Loss(const Tensor& pred, float target) {
+  M2G_CHECK_EQ(pred.value().size(), 1);
+  return Abs(AddScalar(pred, -target));
+}
+
+Tensor LayerNormRows(const Tensor& x, const Tensor& gain,
+                     const Tensor& bias, float eps) {
+  const Matrix& xv = x.value();
+  const int n = xv.rows(), d = xv.cols();
+  M2G_CHECK_EQ(gain.value().rows(), 1);
+  M2G_CHECK_EQ(gain.value().cols(), d);
+  M2G_CHECK_EQ(bias.value().rows(), 1);
+  M2G_CHECK_EQ(bias.value().cols(), d);
+
+  Matrix out(n, d);
+  Matrix x_hat(n, d);
+  std::vector<float> inv_std(n);
+  for (int r = 0; r < n; ++r) {
+    double mean = 0;
+    for (int c = 0; c < d; ++c) mean += xv.At(r, c);
+    mean /= d;
+    double var = 0;
+    for (int c = 0; c < d; ++c) {
+      const double diff = xv.At(r, c) - mean;
+      var += diff * diff;
+    }
+    var /= d;
+    inv_std[r] = static_cast<float>(1.0 / std::sqrt(var + eps));
+    for (int c = 0; c < d; ++c) {
+      x_hat.At(r, c) =
+          (xv.At(r, c) - static_cast<float>(mean)) * inv_std[r];
+      out.At(r, c) =
+          gain.value().At(0, c) * x_hat.At(r, c) + bias.value().At(0, c);
+    }
+  }
+  NodePtr node = NewNode(std::move(out));
+  NodePtr xn = x.node(), gn = gain.node(), bn = bias.node();
+  return MakeOp(
+      node, {xn, gn, bn},
+      [xn, gn, bn, x_hat = std::move(x_hat),
+       inv_std = std::move(inv_std)](TensorNode* self) {
+        const int n = self->value.rows(), d = self->value.cols();
+        if (gn->requires_grad) {
+          Matrix& gg = gn->EnsureGrad();
+          for (int r = 0; r < n; ++r) {
+            for (int c = 0; c < d; ++c) {
+              gg.At(0, c) += self->grad.At(r, c) * x_hat.At(r, c);
+            }
+          }
+        }
+        if (bn->requires_grad) {
+          Matrix& bg = bn->EnsureGrad();
+          for (int r = 0; r < n; ++r) {
+            for (int c = 0; c < d; ++c) {
+              bg.At(0, c) += self->grad.At(r, c);
+            }
+          }
+        }
+        if (xn->requires_grad) {
+          Matrix& xg = xn->EnsureGrad();
+          for (int r = 0; r < n; ++r) {
+            // g_hat = gain * dy; dx = (g_hat - mean(g_hat)
+            //         - x_hat * mean(g_hat * x_hat)) * inv_std.
+            double mean_g = 0, mean_gx = 0;
+            for (int c = 0; c < d; ++c) {
+              const double gh =
+                  gn->value.At(0, c) * self->grad.At(r, c);
+              mean_g += gh;
+              mean_gx += gh * x_hat.At(r, c);
+            }
+            mean_g /= d;
+            mean_gx /= d;
+            for (int c = 0; c < d; ++c) {
+              const double gh =
+                  gn->value.At(0, c) * self->grad.At(r, c);
+              xg.At(r, c) += static_cast<float>(
+                  (gh - mean_g - x_hat.At(r, c) * mean_gx) *
+                  inv_std[r]);
+            }
+          }
+        }
+      });
+}
+
+int ArgmaxMaskedRow(const Matrix& row, const std::vector<bool>& mask) {
+  M2G_CHECK_EQ(row.rows(), 1);
+  M2G_CHECK_EQ(static_cast<size_t>(row.cols()), mask.size());
+  int best = -1;
+  float best_v = -std::numeric_limits<float>::infinity();
+  for (int i = 0; i < row.cols(); ++i) {
+    if (mask[i] && row[i] > best_v) {
+      best_v = row[i];
+      best = i;
+    }
+  }
+  M2G_CHECK_MSG(best >= 0, "ArgmaxMaskedRow: all positions masked");
+  return best;
+}
+
+}  // namespace m2g

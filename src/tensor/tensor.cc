@@ -1,0 +1,93 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <atomic>
+#include <unordered_set>
+
+namespace m2g {
+
+namespace internal {
+namespace {
+std::atomic<uint64_t> g_next_node_id{1};
+}  // namespace
+
+std::shared_ptr<TensorNode> NewNode(Matrix value) {
+  auto node = std::make_shared<TensorNode>();
+  node->value = std::move(value);
+  node->id = g_next_node_id.fetch_add(1, std::memory_order_relaxed);
+  return node;
+}
+
+}  // namespace internal
+
+Tensor Tensor::Constant(Matrix value) {
+  return FromNode(internal::NewNode(std::move(value)));
+}
+
+Tensor Tensor::Parameter(Matrix value) {
+  auto node = internal::NewNode(std::move(value));
+  node->requires_grad = true;
+  return FromNode(std::move(node));
+}
+
+Tensor Tensor::Scalar(float value) {
+  Matrix m(1, 1);
+  m[0] = value;
+  return Constant(std::move(m));
+}
+
+Tensor Tensor::FromNode(std::shared_ptr<internal::TensorNode> node) {
+  Tensor t;
+  t.node_ = std::move(node);
+  return t;
+}
+
+float Tensor::item() const {
+  M2G_CHECK(defined());
+  M2G_CHECK_EQ(node_->value.size(), 1);
+  return node_->value[0];
+}
+
+void Tensor::ZeroGrad() const {
+  M2G_CHECK(defined());
+  if (node_->grad.SameShape(node_->value)) node_->grad.SetZero();
+}
+
+void Tensor::Backward() const {
+  M2G_CHECK(defined());
+  M2G_CHECK_MSG(node_->value.size() == 1,
+                "Backward() must start from a scalar");
+
+  // Iterative DFS topological sort over the parent DAG.
+  std::vector<internal::TensorNode*> topo;
+  std::unordered_set<internal::TensorNode*> visited;
+  struct Frame {
+    internal::TensorNode* node;
+    size_t next_parent;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({node_.get(), 0});
+  visited.insert(node_.get());
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    if (f.next_parent < f.node->parents.size()) {
+      internal::TensorNode* p = f.node->parents[f.next_parent++].get();
+      if (visited.insert(p).second) stack.push_back({p, 0});
+    } else {
+      topo.push_back(f.node);
+      stack.pop_back();
+    }
+  }
+  // topo is now parents-before-children; we want reverse order.
+  std::reverse(topo.begin(), topo.end());
+
+  node_->EnsureGrad();
+  node_->grad[0] += 1.0f;
+  for (internal::TensorNode* n : topo) {
+    if (!n->requires_grad || !n->backward_fn) continue;
+    if (!n->grad.SameShape(n->value)) continue;  // no grad ever reached it
+    n->backward_fn(n);
+  }
+}
+
+}  // namespace m2g

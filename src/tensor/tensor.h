@@ -1,0 +1,82 @@
+#ifndef M2G_TENSOR_TENSOR_H_
+#define M2G_TENSOR_TENSOR_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace m2g {
+
+namespace internal {
+
+/// One node in a dynamically built reverse-mode autograd graph. Nodes own
+/// shared pointers to their parents (a DAG, children -> parents), so when
+/// the loss tensor goes out of scope the per-sample graph is freed while
+/// long-lived parameter leaves survive inside their modules.
+struct TensorNode {
+  Matrix value;
+  Matrix grad;  // lazily allocated, same shape as `value`
+  bool requires_grad = false;
+  std::vector<std::shared_ptr<TensorNode>> parents;
+  /// Accumulates this node's grad into its parents' grads.
+  std::function<void(TensorNode*)> backward_fn;
+  /// Monotonic creation id, used for a deterministic topological order.
+  uint64_t id = 0;
+
+  Matrix& EnsureGrad() {
+    if (!grad.SameShape(value)) grad = Matrix(value.rows(), value.cols());
+    return grad;
+  }
+};
+
+}  // namespace internal
+
+/// Value handle for the autograd engine. Copying a Tensor copies the handle,
+/// not the data. A default-constructed Tensor is null (`defined() == false`).
+class Tensor {
+ public:
+  Tensor() = default;
+
+  /// Wraps a constant (no gradient flows into it).
+  static Tensor Constant(Matrix value);
+  /// Wraps a trainable leaf; its grad accumulates across Backward calls
+  /// until the optimizer zeroes it.
+  static Tensor Parameter(Matrix value);
+  /// Scalar constant shorthand.
+  static Tensor Scalar(float value);
+
+  bool defined() const { return node_ != nullptr; }
+  int rows() const { return node_->value.rows(); }
+  int cols() const { return node_->value.cols(); }
+  const Matrix& value() const { return node_->value; }
+  Matrix& mutable_value() { return node_->value; }
+  const Matrix& grad() const { return node_->grad; }
+  bool requires_grad() const { return node_->requires_grad; }
+  /// Scalar read; requires shape (1,1).
+  float item() const;
+
+  /// Runs reverse-mode autodiff from this scalar (1x1) tensor. Gradients
+  /// accumulate (+=) into every reachable leaf with requires_grad.
+  void Backward() const;
+
+  /// Drops / (re)zeroes the gradient buffer of this leaf.
+  void ZeroGrad() const;
+
+  /// Internal: used by op implementations.
+  const std::shared_ptr<internal::TensorNode>& node() const { return node_; }
+  static Tensor FromNode(std::shared_ptr<internal::TensorNode> node);
+
+ private:
+  std::shared_ptr<internal::TensorNode> node_;
+};
+
+namespace internal {
+/// Allocates a node with a fresh id. Op implementations use this.
+std::shared_ptr<TensorNode> NewNode(Matrix value);
+}  // namespace internal
+
+}  // namespace m2g
+
+#endif  // M2G_TENSOR_TENSOR_H_

@@ -1,0 +1,273 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "baselines/deep_route.h"
+#include "baselines/fdnet.h"
+#include "baselines/graph2route.h"
+#include "baselines/greedy.h"
+#include "baselines/osquare.h"
+#include "baselines/tsp.h"
+#include "metrics/route_metrics.h"
+
+namespace m2g::baselines {
+namespace {
+
+synth::DatasetSplits* SharedSplits() {
+  static synth::DatasetSplits* splits = [] {
+    synth::DataConfig dc;
+    dc.seed = 505;
+    dc.world.num_aois = 70;
+    dc.world.num_districts = 3;
+    dc.couriers.num_couriers = 6;
+    dc.num_days = 6;
+    return new synth::DatasetSplits(synth::BuildDataset(dc));
+  }();
+  return splits;
+}
+
+DeepBaselineConfig TinyDeepConfig(uint64_t seed) {
+  DeepBaselineConfig c;
+  c.hidden_dim = 16;
+  c.lstm_hidden_dim = 16;
+  c.courier_dim = 8;
+  c.num_layers = 1;
+  c.num_heads = 2;
+  c.epochs = 2;
+  c.max_samples_per_epoch = 40;
+  c.seed = seed;
+  c.time_head.hidden_dim = 16;
+  c.time_head.epochs = 2;
+  return c;
+}
+
+TEST(GreedyTest, TimeGreedySortsByDeadline) {
+  const synth::Sample& s = SharedSplits()->train.samples.front();
+  core::RtpPrediction pred = TimeGreedyPredict(s, HeuristicConfig{});
+  ASSERT_TRUE(metrics::IsPermutation(pred.location_route,
+                                     s.num_locations()));
+  for (size_t j = 1; j < pred.location_route.size(); ++j) {
+    EXPECT_LE(s.locations[pred.location_route[j - 1]].deadline_min,
+              s.locations[pred.location_route[j]].deadline_min);
+  }
+}
+
+TEST(GreedyTest, DistanceGreedyFirstPickIsNearest) {
+  const synth::Sample& s = SharedSplits()->train.samples.front();
+  core::RtpPrediction pred = DistanceGreedyPredict(s, HeuristicConfig{});
+  ASSERT_TRUE(metrics::IsPermutation(pred.location_route,
+                                     s.num_locations()));
+  int nearest = 0;
+  for (int i = 1; i < s.num_locations(); ++i) {
+    if (s.locations[i].dist_from_courier_m <
+        s.locations[nearest].dist_from_courier_m) {
+      nearest = i;
+    }
+  }
+  EXPECT_EQ(pred.location_route.front(), nearest);
+}
+
+TEST(GreedyTest, FixedSpeedTimesIncreaseAlongRoute) {
+  const synth::Sample& s = SharedSplits()->train.samples.front();
+  core::RtpPrediction pred = DistanceGreedyPredict(s, HeuristicConfig{});
+  double prev = -1;
+  for (int node : pred.location_route) {
+    EXPECT_GE(pred.location_times_min[node], prev);
+    prev = pred.location_times_min[node];
+  }
+}
+
+TEST(TspTest, TwoOptNeverWorseThanNearestNeighbourChain) {
+  // SolveOpenTsp starts from the NN tour and only applies improving
+  // moves, so its path must never exceed a freshly built NN path.
+  Rng rng(10);
+  geo::LatLng start{30.25, 120.17};
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<geo::LatLng> pts;
+    const int n = rng.UniformInt(4, 15);
+    for (int i = 0; i < n; ++i) {
+      pts.push_back(geo::OffsetMeters(start, rng.Uniform(-4000, 4000),
+                                      rng.Uniform(-4000, 4000)));
+    }
+    std::vector<int> tsp = SolveOpenTsp(start, pts);
+    // NN-only path for comparison.
+    std::vector<bool> used(n, false);
+    std::vector<int> nn;
+    geo::LatLng pos = start;
+    for (int step = 0; step < n; ++step) {
+      int best = -1;
+      double bd = 0;
+      for (int i = 0; i < n; ++i) {
+        if (used[i]) continue;
+        const double d = geo::ApproxMeters(pos, pts[i]);
+        if (best < 0 || d < bd) {
+          best = i;
+          bd = d;
+        }
+      }
+      used[best] = true;
+      nn.push_back(best);
+      pos = pts[best];
+    }
+    EXPECT_LE(OpenPathMeters(start, pts, tsp) - 1e-6,
+              OpenPathMeters(start, pts, nn));
+    EXPECT_TRUE(metrics::IsPermutation(tsp, n));
+  }
+}
+
+TEST(TspTest, SolvesCollinearInstanceOptimally) {
+  geo::LatLng start{30.25, 120.17};
+  std::vector<geo::LatLng> pts;
+  // Points east of the start at 1km..5km, shuffled.
+  std::vector<double> offsets = {3000, 1000, 5000, 2000, 4000};
+  for (double e : offsets) pts.push_back(geo::OffsetMeters(start, e, 0));
+  std::vector<int> order = SolveOpenTsp(start, pts);
+  // Optimal open path visits in increasing distance: 1,3,0,4,2.
+  std::vector<int> expected = {1, 3, 0, 4, 2};
+  EXPECT_EQ(order, expected);
+}
+
+TEST(SeqFeaturesTest, CandidateFeatureDimsAndSameAoiFlag) {
+  const synth::Sample& s = SharedSplits()->train.samples.front();
+  auto f = CandidateFeatures(s, s.courier_pos, s.locations[0].aoi_id, 1,
+                             s.num_locations(), 0);
+  ASSERT_EQ(f.size(), static_cast<size_t>(kCandidateFeatureDim));
+  EXPECT_FLOAT_EQ(f[3], 1.0f);  // candidate 0 is in the "current" AOI
+  auto f2 = CandidateFeatures(s, s.courier_pos, -1, 0, s.num_locations(), 0);
+  EXPECT_FLOAT_EQ(f2[3], 0.0f);
+}
+
+TEST(SeqFeaturesTest, TimeFeaturesFollowRouteOrder) {
+  const synth::Sample& s = SharedSplits()->train.samples.front();
+  Matrix f = TimeFeatures(s, s.route_label);
+  // Position feature of the j-th visited node is (j+1)/20.
+  for (int j = 0; j < s.num_locations(); ++j) {
+    EXPECT_NEAR(f.At(s.route_label[j], 0), (j + 1) / 20.0f, 1e-6f);
+  }
+  // Cumulative distance is non-decreasing along the route.
+  double prev = 0;
+  for (int j = 0; j < s.num_locations(); ++j) {
+    EXPECT_GE(f.At(s.route_label[j], 1), prev - 1e-6);
+    prev = f.At(s.route_label[j], 1);
+  }
+}
+
+TEST(OSquareTest, TrainsAndPredictsValidRoutes) {
+  synth::Dataset small;
+  for (int i = 0; i < std::min(60, SharedSplits()->train.size()); ++i) {
+    small.samples.push_back(SharedSplits()->train.samples[i]);
+  }
+  OSquare::Config config;
+  config.route_booster.num_rounds = 20;
+  config.time_booster.num_rounds = 20;
+  OSquare model(config);
+  model.Fit(small);
+  for (int i = 0; i < 5; ++i) {
+    const synth::Sample& s = SharedSplits()->test.samples[i];
+    core::RtpPrediction pred = model.Predict(s);
+    EXPECT_TRUE(metrics::IsPermutation(pred.location_route,
+                                       s.num_locations()));
+    for (double t : pred.location_times_min) EXPECT_GE(t, 0.0);
+  }
+}
+
+TEST(OSquareTest, BeatsRandomOrderOnRoute) {
+  synth::Dataset small;
+  for (int i = 0; i < std::min(120, SharedSplits()->train.size()); ++i) {
+    small.samples.push_back(SharedSplits()->train.samples[i]);
+  }
+  OSquare model;
+  model.Fit(small);
+  double krc = 0;
+  int count = 0;
+  for (const synth::Sample& s : SharedSplits()->test.samples) {
+    krc += metrics::KendallRankCorrelation(model.PredictRoute(s),
+                                           s.route_label);
+    ++count;
+  }
+  EXPECT_GT(krc / count, 0.15);  // clearly above random (0.0)
+}
+
+TEST(NormalizedAdjacencyTest, RowSumsBoundedAndSymmetric) {
+  std::vector<bool> adj = {
+      true, true, false,
+      true, true, true,
+      false, true, true};
+  Matrix a = NormalizedAdjacency(adj, 3);
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      EXPECT_FLOAT_EQ(a.At(i, j), a.At(j, i));
+    }
+  }
+  // D^-1/2 A D^-1/2 of a symmetric adjacency has spectral radius <= 1;
+  // cheap proxy: diagonal entries are 1/deg.
+  EXPECT_NEAR(a.At(0, 0), 0.5f, 1e-6f);
+  EXPECT_NEAR(a.At(1, 1), 1.0f / 3.0f, 1e-6f);
+}
+
+template <typename Net>
+void SmokeTestDeepBaseline(uint64_t seed) {
+  Net net(TinyDeepConfig(seed));
+  synth::Dataset train, val;
+  for (int i = 0; i < 40; ++i) {
+    train.samples.push_back(SharedSplits()->train.samples[i]);
+  }
+  for (int i = 0; i < 10; ++i) {
+    val.samples.push_back(SharedSplits()->val.samples[i]);
+  }
+  net.Fit(train, val);
+  for (int i = 0; i < 5; ++i) {
+    const synth::Sample& s = SharedSplits()->test.samples[i];
+    core::RtpPrediction pred = net.Predict(s);
+    EXPECT_TRUE(metrics::IsPermutation(pred.location_route,
+                                       s.num_locations()));
+    ASSERT_EQ(pred.location_times_min.size(),
+              static_cast<size_t>(s.num_locations()));
+    for (double t : pred.location_times_min) {
+      EXPECT_TRUE(std::isfinite(t));
+      EXPECT_GE(t, 0.0);
+    }
+  }
+}
+
+TEST(DeepRouteTest, SmokeTrainPredict) {
+  SmokeTestDeepBaseline<DeepRoute>(1);
+}
+
+TEST(FdnetTest, SmokeTrainPredict) { SmokeTestDeepBaseline<Fdnet>(2); }
+
+TEST(Graph2RouteTest, SmokeTrainPredict) {
+  SmokeTestDeepBaseline<Graph2Route>(3);
+}
+
+TEST(DeepRouteTest, EncoderIsShapeCorrect) {
+  DeepRoute net(TinyDeepConfig(4));
+  const synth::Sample& s = SharedSplits()->train.samples.front();
+  Tensor h = net.EncodeSample(s);
+  EXPECT_EQ(h.rows(), s.num_locations());
+  EXPECT_EQ(h.cols(), 16);
+}
+
+TEST(Graph2RouteTest, EncoderUsesAdjacency) {
+  // Same sample, but the GCN must produce different encodings for
+  // different graphs: compare output against a perturbed-position clone.
+  Graph2Route net(TinyDeepConfig(5));
+  synth::Sample s = SharedSplits()->train.samples.front();
+  Tensor h1 = net.EncodeSample(s);
+  synth::Sample s2 = s;
+  for (auto& task : s2.locations) {
+    task.pos = geo::OffsetMeters(task.pos, 2500.0, -1500.0);
+    task.dist_from_courier_m =
+        geo::ApproxMeters(s2.courier_pos, task.pos);
+  }
+  Tensor h2 = net.EncodeSample(s2);
+  float diff = 0;
+  for (int i = 0; i < h1.value().size(); ++i) {
+    diff += std::fabs(h1.value()[i] - h2.value()[i]);
+  }
+  EXPECT_GT(diff, 1e-4f);
+}
+
+}  // namespace
+}  // namespace m2g::baselines

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "synth/dataset_io.h"
+
+namespace m2g::synth {
+namespace {
+
+DatasetSplits SmallSplits() {
+  DataConfig config;
+  config.seed = 808;
+  config.world.num_aois = 60;
+  config.couriers.num_couriers = 5;
+  config.num_days = 5;
+  return BuildDataset(config);
+}
+
+void ExpectSamplesEqual(const Sample& a, const Sample& b) {
+  EXPECT_EQ(a.courier_id, b.courier_id);
+  EXPECT_EQ(a.day, b.day);
+  EXPECT_EQ(a.weekday, b.weekday);
+  EXPECT_EQ(a.weather, b.weather);
+  EXPECT_DOUBLE_EQ(a.query_time_min, b.query_time_min);
+  EXPECT_DOUBLE_EQ(a.courier_pos.lat, b.courier_pos.lat);
+  EXPECT_DOUBLE_EQ(a.courier_pos.lng, b.courier_pos.lng);
+  EXPECT_DOUBLE_EQ(a.courier.avg_speed_mps, b.courier.avg_speed_mps);
+  EXPECT_EQ(a.courier.served_aois, b.courier.served_aois);
+  ASSERT_EQ(a.locations.size(), b.locations.size());
+  for (size_t i = 0; i < a.locations.size(); ++i) {
+    EXPECT_EQ(a.locations[i].order_id, b.locations[i].order_id);
+    EXPECT_DOUBLE_EQ(a.locations[i].pos.lat, b.locations[i].pos.lat);
+    EXPECT_DOUBLE_EQ(a.locations[i].deadline_min,
+                     b.locations[i].deadline_min);
+    EXPECT_DOUBLE_EQ(a.locations[i].dist_from_courier_m,
+                     b.locations[i].dist_from_courier_m);
+  }
+  EXPECT_EQ(a.aoi_node_ids, b.aoi_node_ids);
+  EXPECT_EQ(a.loc_to_aoi, b.loc_to_aoi);
+  EXPECT_EQ(a.route_label, b.route_label);
+  EXPECT_EQ(a.time_label_min, b.time_label_min);
+  EXPECT_EQ(a.aoi_route_label, b.aoi_route_label);
+  EXPECT_EQ(a.aoi_time_label_min, b.aoi_time_label_min);
+}
+
+TEST(DatasetIoTest, DatasetRoundTripExact) {
+  DatasetSplits splits = SmallSplits();
+  const std::string path = ::testing::TempDir() + "/ds.bin";
+  ASSERT_TRUE(SaveDataset(splits.train, path).ok());
+  auto loaded = LoadDataset(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded.value().size(), splits.train.size());
+  for (int i = 0; i < splits.train.size(); ++i) {
+    ExpectSamplesEqual(splits.train.samples[i], loaded.value().samples[i]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, SplitsRoundTripExact) {
+  DatasetSplits splits = SmallSplits();
+  const std::string path = ::testing::TempDir() + "/splits.bin";
+  ASSERT_TRUE(SaveSplits(splits, path).ok());
+  auto loaded = LoadSplits(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().train.size(), splits.train.size());
+  EXPECT_EQ(loaded.value().val.size(), splits.val.size());
+  EXPECT_EQ(loaded.value().test.size(), splits.test.size());
+  ExpectSamplesEqual(splits.test.samples.back(),
+                     loaded.value().test.samples.back());
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, EmptyDatasetRoundTrips) {
+  Dataset empty;
+  const std::string path = ::testing::TempDir() + "/empty.bin";
+  ASSERT_TRUE(SaveDataset(empty, path).ok());
+  auto loaded = LoadDataset(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().size(), 0);
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, MissingFileIsNotFound) {
+  auto loaded = LoadDataset("/nonexistent/ds.bin");
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+TEST(DatasetIoTest, WrongMagicRejected) {
+  const std::string path = ::testing::TempDir() + "/garbage.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "this is not a dataset file at all";
+  }
+  auto loaded = LoadDataset(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, TruncatedFileRejectedNotCrash) {
+  DatasetSplits splits = SmallSplits();
+  const std::string path = ::testing::TempDir() + "/trunc.bin";
+  ASSERT_TRUE(SaveDataset(splits.train, path).ok());
+  // Truncate to 60% of the original size.
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fclose(f);
+  ASSERT_EQ(truncate(path.c_str(), size * 6 / 10), 0);
+  auto loaded = LoadDataset(path);
+  EXPECT_FALSE(loaded.ok());
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, CsvExportHasHeaderAndAllRows) {
+  DatasetSplits splits = SmallSplits();
+  const std::string path = ::testing::TempDir() + "/locations.csv";
+  ASSERT_TRUE(ExportLocationsCsv(splits.test, path).ok());
+  std::ifstream in(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_NE(line.find("order_id"), std::string::npos);
+  EXPECT_NE(line.find("arrival_gap_min"), std::string::npos);
+  int rows = 0;
+  while (std::getline(in, line)) ++rows;
+  int expected = 0;
+  for (const Sample& s : splits.test.samples) {
+    expected += s.num_locations();
+  }
+  EXPECT_EQ(rows, expected);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace m2g::synth

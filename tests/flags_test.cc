@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include "common/flags.h"
+
+namespace m2g {
+namespace {
+
+FlagParser MustParse(std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "prog");
+  auto result = FlagParser::Parse(static_cast<int>(argv.size()),
+                                  argv.data());
+  EXPECT_TRUE(result.ok());
+  return std::move(result).value();
+}
+
+TEST(FlagParserTest, CommandAndPositionals) {
+  FlagParser p = MustParse({"train", "extra1", "extra2"});
+  EXPECT_EQ(p.command(), "train");
+  ASSERT_EQ(p.positional().size(), 2u);
+  EXPECT_EQ(p.positional()[0], "extra1");
+}
+
+TEST(FlagParserTest, EqualsAndSpaceSyntax) {
+  FlagParser p = MustParse({"train", "--epochs=7", "--lr", "0.5"});
+  EXPECT_EQ(p.GetInt("epochs", 0), 7);
+  EXPECT_DOUBLE_EQ(p.GetDouble("lr", 0), 0.5);
+}
+
+TEST(FlagParserTest, BooleanFlagForms) {
+  FlagParser p = MustParse({"x", "--verbose", "--color=false", "--on=yes"});
+  EXPECT_TRUE(p.GetBool("verbose", false));
+  EXPECT_FALSE(p.GetBool("color", true));
+  EXPECT_TRUE(p.GetBool("on", false));
+  EXPECT_TRUE(p.GetBool("missing", true));  // default honored
+}
+
+TEST(FlagParserTest, DefaultsWhenAbsent) {
+  FlagParser p = MustParse({"x"});
+  EXPECT_EQ(p.GetString("name", "fallback"), "fallback");
+  EXPECT_EQ(p.GetInt("n", 42), 42);
+  EXPECT_FALSE(p.Has("anything"));
+}
+
+TEST(FlagParserTest, NoCommandWhenFirstArgIsFlag) {
+  FlagParser p = MustParse({"--direct=1"});
+  EXPECT_EQ(p.command(), "");
+  EXPECT_EQ(p.GetInt("direct", 0), 1);
+}
+
+TEST(FlagParserTest, UnqueriedFlagsDetected) {
+  FlagParser p = MustParse({"x", "--used=1", "--typo=2"});
+  (void)p.GetInt("used", 0);
+  auto unused = p.UnqueriedFlags();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo");
+}
+
+TEST(FlagParserTest, BareDashesRejected) {
+  std::vector<const char*> argv = {"prog", "x", "--"};
+  auto result = FlagParser::Parse(3, argv.data());
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(FlagParserTest, NegativeNumberTreatedAsFlagValueViaEquals) {
+  // "--delta -3" would read -3 as a new flag; the documented form is
+  // "--delta=-3".
+  FlagParser p = MustParse({"x", "--delta=-3"});
+  EXPECT_EQ(p.GetInt("delta", 0), -3);
+}
+
+}  // namespace
+}  // namespace m2g

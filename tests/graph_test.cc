@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/features.h"
+#include "graph/multi_level_graph.h"
+
+namespace m2g::graph {
+namespace {
+
+synth::Sample MakeSample() {
+  synth::DataConfig config;
+  config.seed = 31;
+  config.world.num_aois = 60;
+  config.world.num_districts = 3;
+  config.couriers.num_couriers = 4;
+  config.num_days = 4;
+  synth::DatasetSplits splits = synth::BuildDataset(config);
+  // Find a sample with at least 2 AOIs and 5 locations.
+  for (const synth::Sample& s : splits.train.samples) {
+    if (s.num_aois() >= 2 && s.num_locations() >= 5) return s;
+  }
+  ADD_FAILURE() << "no suitable sample generated";
+  return splits.train.samples.front();
+}
+
+TEST(FeaturesTest, LocationFeatureShapesAndValues) {
+  synth::Sample s = MakeSample();
+  Matrix x = LocationNodeFeatures(s);
+  EXPECT_EQ(x.rows(), s.num_locations());
+  EXPECT_EQ(x.cols(), kLocationContinuousDim);
+  for (int i = 0; i < x.rows(); ++i) {
+    // Distance column equals the stored distance.
+    EXPECT_NEAR(x.At(i, 2), s.locations[i].dist_from_courier_m / 1000.0,
+                1e-4);
+    // Offset magnitude matches distance (Pythagoras).
+    const double r = std::sqrt(x.At(i, 0) * x.At(i, 0) +
+                               x.At(i, 1) * x.At(i, 1));
+    EXPECT_NEAR(r, x.At(i, 2), 0.02);
+    // Deadline time-of-day fraction in [0,1).
+    EXPECT_GE(x.At(i, 5), 0.0f);
+    EXPECT_LT(x.At(i, 5), 1.0f);
+  }
+}
+
+TEST(FeaturesTest, AoiFeaturesAggregateMembers) {
+  synth::Sample s = MakeSample();
+  Matrix x = AoiNodeFeatures(s);
+  EXPECT_EQ(x.rows(), s.num_aois());
+  EXPECT_EQ(x.cols(), kAoiContinuousDim);
+  // Column 4 * 5 = member counts; they must sum to n.
+  double total = 0;
+  for (int k = 0; k < x.rows(); ++k) total += x.At(k, 4) * 5.0;
+  EXPECT_NEAR(total, s.num_locations(), 1e-3);
+}
+
+TEST(FeaturesTest, GlobalFeaturesEncodeCourier) {
+  synth::Sample s = MakeSample();
+  Matrix g = GlobalContinuousFeatures(s);
+  EXPECT_EQ(g.rows(), 1);
+  EXPECT_EQ(g.cols(), kGlobalContinuousDim);
+  EXPECT_NEAR(g.At(0, 2), s.courier.attendance, 1e-6);
+}
+
+TEST(KnnConnectivityTest, SelfLoopsAndSymmetry) {
+  synth::Sample s = MakeSample();
+  std::vector<geo::LatLng> pts;
+  std::vector<double> deadlines;
+  for (const auto& task : s.locations) {
+    pts.push_back(task.pos);
+    deadlines.push_back(task.deadline_min);
+  }
+  const int n = static_cast<int>(pts.size());
+  auto adj = KnnConnectivity(pts, deadlines, 3);
+  for (int i = 0; i < n; ++i) {
+    EXPECT_TRUE(adj[i * n + i]);
+    for (int j = 0; j < n; ++j) {
+      EXPECT_EQ(adj[i * n + j], adj[j * n + i]);
+    }
+  }
+}
+
+TEST(KnnConnectivityTest, DegreeAtLeastKWhenEnoughNodes) {
+  std::vector<geo::LatLng> pts;
+  std::vector<double> deadlines;
+  Rng rng(9);
+  geo::LatLng base{30.25, 120.17};
+  for (int i = 0; i < 12; ++i) {
+    pts.push_back(geo::OffsetMeters(base, rng.Uniform(-3000, 3000),
+                                    rng.Uniform(-3000, 3000)));
+    deadlines.push_back(rng.Uniform(0, 600));
+  }
+  const int k = 4;
+  auto adj = KnnConnectivity(pts, deadlines, k);
+  const int n = 12;
+  for (int i = 0; i < n; ++i) {
+    int degree = 0;
+    for (int j = 0; j < n; ++j) {
+      if (j != i && adj[i * n + j]) ++degree;
+    }
+    EXPECT_GE(degree, k);  // at least the spatial k
+  }
+}
+
+TEST(KnnConnectivityTest, FullyConnectedWhenKLarge) {
+  std::vector<geo::LatLng> pts(4, geo::LatLng{30.0, 120.0});
+  std::vector<double> deadlines = {1, 2, 3, 4};
+  auto adj = KnnConnectivity(pts, deadlines, 10);
+  for (bool b : adj) EXPECT_TRUE(b);
+}
+
+TEST(EdgeFeaturesTest, DiagonalAndSymmetryProperties) {
+  synth::Sample s = MakeSample();
+  std::vector<geo::LatLng> pts;
+  std::vector<double> deadlines;
+  for (const auto& task : s.locations) {
+    pts.push_back(task.pos);
+    deadlines.push_back(task.deadline_min);
+  }
+  const int n = static_cast<int>(pts.size());
+  auto adj = KnnConnectivity(pts, deadlines, 3);
+  Matrix e = EdgeFeatures(pts, deadlines, adj);
+  EXPECT_EQ(e.rows(), n * n);
+  EXPECT_EQ(e.cols(), kEdgeDim);
+  for (int i = 0; i < n; ++i) {
+    EXPECT_FLOAT_EQ(e.At(i * n + i, 0), 0.0f);  // zero self-distance
+    EXPECT_FLOAT_EQ(e.At(i * n + i, 1), 0.0f);  // zero self-gap
+    EXPECT_FLOAT_EQ(e.At(i * n + i, 2), 1.0f);  // self-loop connected
+    for (int j = 0; j < n; ++j) {
+      EXPECT_FLOAT_EQ(e.At(i * n + j, 0), e.At(j * n + i, 0));
+      EXPECT_FLOAT_EQ(e.At(i * n + j, 1), e.At(j * n + i, 1));
+    }
+  }
+}
+
+TEST(MultiLevelGraphTest, LevelsAreConsistentWithSample) {
+  synth::Sample s = MakeSample();
+  GraphConfig config;
+  MultiLevelGraph g = BuildMultiLevelGraph(s, config);
+  EXPECT_EQ(g.location.n, s.num_locations());
+  EXPECT_EQ(g.aoi.n, s.num_aois());
+  EXPECT_EQ(g.loc_to_aoi, s.loc_to_aoi);
+  // Cross-level consistency: each location's global AOI id matches its
+  // AOI node's id.
+  for (int i = 0; i < g.location.n; ++i) {
+    EXPECT_EQ(g.location.node_aoi_id[i],
+              g.aoi.node_aoi_id[g.loc_to_aoi[i]]);
+  }
+}
+
+TEST(MultiLevelGraphTest, SingleAoiSampleStillBuilds) {
+  synth::DataConfig config;
+  config.seed = 33;
+  config.world.num_aois = 40;
+  config.couriers.num_couriers = 4;
+  config.num_days = 4;
+  synth::DatasetSplits splits = synth::BuildDataset(config);
+  for (const synth::Sample& s : splits.train.samples) {
+    if (s.num_aois() == 1) {
+      MultiLevelGraph g = BuildMultiLevelGraph(s, GraphConfig{});
+      EXPECT_EQ(g.aoi.n, 1);
+      EXPECT_TRUE(g.aoi.AdjacentTo(0, 0));
+      return;
+    }
+  }
+  GTEST_SKIP() << "no single-AOI sample in this seed";
+}
+
+}  // namespace
+}  // namespace m2g::graph

@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "tensor/matrix.h"
+
+namespace m2g {
+namespace {
+
+TEST(MatrixTest, ConstructionAndShape) {
+  Matrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_EQ(m.size(), 6);
+  for (int i = 0; i < m.size(); ++i) EXPECT_EQ(m[i], 0.0f);
+}
+
+TEST(MatrixTest, AtIsRowMajor) {
+  Matrix m(2, 3, {1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(m.At(0, 0), 1.0f);
+  EXPECT_EQ(m.At(0, 2), 3.0f);
+  EXPECT_EQ(m.At(1, 0), 4.0f);
+  EXPECT_EQ(m.At(1, 2), 6.0f);
+}
+
+TEST(MatrixTest, FactoryHelpers) {
+  Matrix ones = Matrix::Ones(2, 2);
+  EXPECT_EQ(ones.Sum(), 4.0f);
+  Matrix id = Matrix::Identity(3);
+  EXPECT_EQ(id.Sum(), 3.0f);
+  EXPECT_EQ(id.At(1, 1), 1.0f);
+  EXPECT_EQ(id.At(0, 1), 0.0f);
+  Matrix row = Matrix::RowVector({1, 2, 3});
+  EXPECT_EQ(row.rows(), 1);
+  EXPECT_EQ(row.cols(), 3);
+}
+
+TEST(MatrixTest, InPlaceArithmetic) {
+  Matrix a(1, 3, {1, 2, 3});
+  Matrix b(1, 3, {10, 20, 30});
+  a.AddInPlace(b);
+  EXPECT_EQ(a.At(0, 1), 22.0f);
+  a.AddScaledInPlace(b, -1.0f);
+  EXPECT_EQ(a.At(0, 1), 2.0f);
+  a.ScaleInPlace(2.0f);
+  EXPECT_EQ(a.At(0, 2), 6.0f);
+}
+
+TEST(MatrixTest, NormAndMaxAbs) {
+  Matrix a(1, 2, {3, -4});
+  EXPECT_FLOAT_EQ(a.Norm(), 5.0f);
+  EXPECT_FLOAT_EQ(a.MaxAbs(), 4.0f);
+}
+
+TEST(MatrixTest, MatMulBasic) {
+  Matrix a(2, 3, {1, 2, 3, 4, 5, 6});
+  Matrix b(3, 2, {7, 8, 9, 10, 11, 12});
+  Matrix c = MatMulRaw(a, b);
+  // c = [[58, 64], [139, 154]]
+  EXPECT_FLOAT_EQ(c.At(0, 0), 58.0f);
+  EXPECT_FLOAT_EQ(c.At(0, 1), 64.0f);
+  EXPECT_FLOAT_EQ(c.At(1, 0), 139.0f);
+  EXPECT_FLOAT_EQ(c.At(1, 1), 154.0f);
+}
+
+TEST(MatrixTest, MatMulIdentity) {
+  Rng rng(3);
+  Matrix a = Matrix::Random(4, 4, -1, 1, &rng);
+  Matrix c = MatMulRaw(a, Matrix::Identity(4));
+  for (int i = 0; i < a.size(); ++i) EXPECT_FLOAT_EQ(c[i], a[i]);
+}
+
+TEST(MatrixTest, TransposeRoundTrip) {
+  Rng rng(4);
+  Matrix a = Matrix::Random(3, 5, -1, 1, &rng);
+  Matrix t = TransposeRaw(a);
+  EXPECT_EQ(t.rows(), 5);
+  EXPECT_EQ(t.cols(), 3);
+  Matrix tt = TransposeRaw(t);
+  for (int i = 0; i < a.size(); ++i) EXPECT_FLOAT_EQ(tt[i], a[i]);
+}
+
+TEST(MatrixTest, RandomIsDeterministicGivenSeed) {
+  Rng r1(99), r2(99);
+  Matrix a = Matrix::Random(3, 3, -1, 1, &r1);
+  Matrix b = Matrix::Random(3, 3, -1, 1, &r2);
+  for (int i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+}  // namespace
+}  // namespace m2g

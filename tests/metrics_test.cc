@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <numeric>
+
+#include "common/rng.h"
+#include "metrics/report.h"
+#include "metrics/significance.h"
+
+namespace m2g::metrics {
+namespace {
+
+TEST(HitRateTest, PerfectAndDisjointPrefixes) {
+  std::vector<int> label = {0, 1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(HitRate(label, label, 3), 1.0);
+  std::vector<int> reversed = {4, 3, 2, 1, 0};
+  // top-3 of reversed = {4,3,2}; top-3 of label = {0,1,2}; overlap = {2}.
+  EXPECT_DOUBLE_EQ(HitRate(reversed, label, 3), 1.0 / 3.0);
+}
+
+TEST(HitRateTest, OrderWithinPrefixIrrelevant) {
+  std::vector<int> label = {0, 1, 2, 3};
+  std::vector<int> shuffled_prefix = {2, 0, 1, 3};
+  EXPECT_DOUBLE_EQ(HitRate(shuffled_prefix, label, 3), 1.0);
+}
+
+TEST(HitRateTest, KClampedToLength) {
+  std::vector<int> label = {1, 0};
+  EXPECT_DOUBLE_EQ(HitRate(label, label, 5), 1.0);
+}
+
+TEST(KrcTest, PerfectReverseAndBounds) {
+  std::vector<int> label = {0, 1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(KendallRankCorrelation(label, label), 1.0);
+  std::vector<int> reversed(label.rbegin(), label.rend());
+  EXPECT_DOUBLE_EQ(KendallRankCorrelation(reversed, label), -1.0);
+}
+
+TEST(KrcTest, SingleSwapValue) {
+  std::vector<int> label = {0, 1, 2, 3};
+  std::vector<int> swapped = {1, 0, 2, 3};
+  // 6 pairs, 1 discordant => (5-1)/6.
+  EXPECT_NEAR(KendallRankCorrelation(swapped, label), 4.0 / 6.0, 1e-12);
+}
+
+TEST(KrcTest, SymmetricInArguments) {
+  Rng rng(3);
+  std::vector<int> a(8), b(8);
+  std::iota(a.begin(), a.end(), 0);
+  std::iota(b.begin(), b.end(), 0);
+  rng.Shuffle(&a);
+  rng.Shuffle(&b);
+  EXPECT_DOUBLE_EQ(KendallRankCorrelation(a, b),
+                   KendallRankCorrelation(b, a));
+}
+
+TEST(LsdTest, ZeroForPerfectQuadraticForShift) {
+  std::vector<int> label = {0, 1, 2, 3};
+  EXPECT_DOUBLE_EQ(LocationSquareDeviation(label, label), 0.0);
+  // Rotate by one: positions differ by 1 for all but wrap-around node.
+  std::vector<int> rotated = {3, 0, 1, 2};
+  // node 3: pred pos 0 vs true 3 -> 9; nodes 0,1,2 shift by 1 -> 1 each.
+  EXPECT_DOUBLE_EQ(LocationSquareDeviation(rotated, label),
+                   (9.0 + 1 + 1 + 1) / 4.0);
+}
+
+TEST(LsdTest, InvariantUnderRelabeling) {
+  // LSD depends only on position deviations, not node ids.
+  std::vector<int> label1 = {0, 1, 2};
+  std::vector<int> pred1 = {1, 0, 2};
+  std::vector<int> label2 = {2, 0, 1};
+  std::vector<int> pred2 = {0, 2, 1};
+  EXPECT_DOUBLE_EQ(LocationSquareDeviation(pred1, label1),
+                   LocationSquareDeviation(pred2, label2));
+}
+
+TEST(IsPermutationTest, DetectsViolations) {
+  EXPECT_TRUE(IsPermutation({2, 0, 1}, 3));
+  EXPECT_FALSE(IsPermutation({0, 0, 1}, 3));
+  EXPECT_FALSE(IsPermutation({0, 1}, 3));
+  EXPECT_FALSE(IsPermutation({0, 1, 3}, 3));
+}
+
+TEST(TimeMetricsTest, HandComputedValues) {
+  TimeMetricAccumulator acc(20.0);
+  acc.Add(10, 0);    // err 10, within
+  acc.Add(0, 30);    // err -30, outside
+  acc.Add(5, 5);     // err 0, within
+  EXPECT_EQ(acc.count(), 3);
+  EXPECT_NEAR(acc.Mae(), (10 + 30 + 0) / 3.0, 1e-12);
+  EXPECT_NEAR(acc.Rmse(), std::sqrt((100.0 + 900.0 + 0) / 3.0), 1e-12);
+  EXPECT_NEAR(acc.AccAtTau(), 200.0 / 3.0, 1e-9);
+}
+
+TEST(TimeMetricsTest, RmseAtLeastMae) {
+  Rng rng(11);
+  TimeMetricAccumulator acc;
+  for (int i = 0; i < 100; ++i) {
+    acc.Add(rng.Uniform(0, 120), rng.Uniform(0, 120));
+  }
+  EXPECT_GE(acc.Rmse(), acc.Mae());
+}
+
+TEST(BucketedEvaluatorTest, RoutesBySampleSize) {
+  BucketedEvaluator eval;
+  std::vector<int> short_route = {0, 1, 2, 3, 4};
+  std::vector<double> short_times = {1, 2, 3, 4, 5};
+  eval.AddSample(short_route, short_route, short_times, short_times);
+  std::vector<int> long_route(12);
+  std::iota(long_route.begin(), long_route.end(), 0);
+  std::vector<double> long_times(12, 7.0);
+  eval.AddSample(long_route, long_route, long_times, long_times);
+
+  EXPECT_EQ(eval.Get(Bucket::kShort).samples, 1);
+  EXPECT_EQ(eval.Get(Bucket::kLong).samples, 1);
+  EXPECT_EQ(eval.Get(Bucket::kAll).samples, 2);
+  EXPECT_DOUBLE_EQ(eval.Get(Bucket::kAll).hr3, 100.0);
+  EXPECT_DOUBLE_EQ(eval.Get(Bucket::kAll).krc, 1.0);
+  EXPECT_DOUBLE_EQ(eval.Get(Bucket::kAll).lsd, 0.0);
+  EXPECT_DOUBLE_EQ(eval.Get(Bucket::kAll).acc20, 100.0);
+}
+
+TEST(BucketedEvaluatorTest, TimeMetricsPooledOverLocations) {
+  BucketedEvaluator eval;
+  // Sample 1: 4 locations, all exact.
+  std::vector<int> r1 = {0, 1, 2, 3};
+  eval.AddSample(r1, r1, {0, 0, 0, 0}, {0, 0, 0, 0});
+  // Sample 2: 4 locations, each off by 40.
+  eval.AddSample(r1, r1, {40, 40, 40, 40}, {0, 0, 0, 0});
+  // Pooled MAE = 20 (8 locations), not the per-sample mean of means
+  // computed differently.
+  EXPECT_NEAR(eval.Get(Bucket::kAll).mae, 20.0, 1e-12);
+  EXPECT_NEAR(eval.Get(Bucket::kAll).acc20, 50.0, 1e-12);
+}
+
+TEST(PairedBootstrapTest, DetectsClearDifference) {
+  Rng rng(31);
+  std::vector<double> a(120), b(120);
+  for (int i = 0; i < 120; ++i) {
+    const double base = rng.Uniform(0, 1);
+    a[i] = base + 0.3 + rng.Gaussian(0, 0.05);  // consistently better
+    b[i] = base + rng.Gaussian(0, 0.05);
+  }
+  PairedComparison cmp = PairedBootstrap(a, b, 2000, 7);
+  EXPECT_EQ(cmp.samples, 120);
+  EXPECT_NEAR(cmp.mean_diff, 0.3, 0.03);
+  EXPECT_LT(cmp.p_value, 0.01);
+  EXPECT_GT(cmp.diff_ci_low, 0.0);  // CI excludes zero
+}
+
+TEST(PairedBootstrapTest, NoDifferenceHasHighPValue) {
+  Rng rng(32);
+  std::vector<double> a(120), b(120);
+  for (int i = 0; i < 120; ++i) {
+    const double base = rng.Uniform(0, 1);
+    a[i] = base + rng.Gaussian(0, 0.2);
+    b[i] = base + rng.Gaussian(0, 0.2);
+  }
+  PairedComparison cmp = PairedBootstrap(a, b, 2000, 8);
+  EXPECT_GT(cmp.p_value, 0.05);
+  EXPECT_LT(cmp.diff_ci_low, 0.0);
+  EXPECT_GT(cmp.diff_ci_high, 0.0);  // CI straddles zero
+}
+
+TEST(PairedBootstrapTest, PairingRemovesSharedVariance) {
+  // Same large per-sample variance, tiny consistent edge: an unpaired
+  // look cannot see it, the paired bootstrap can.
+  Rng rng(33);
+  std::vector<double> a(200), b(200);
+  for (int i = 0; i < 200; ++i) {
+    const double base = rng.Uniform(-5, 5);  // huge shared variance
+    a[i] = base + 0.05;
+    b[i] = base;
+  }
+  PairedComparison cmp = PairedBootstrap(a, b, 2000, 9);
+  EXPECT_LT(cmp.p_value, 0.01);
+  EXPECT_NEAR(cmp.mean_diff, 0.05, 1e-9);
+}
+
+TEST(PairedBootstrapTest, DeterministicForFixedSeed) {
+  std::vector<double> a = {1, 2, 3, 4, 5, 6};
+  std::vector<double> b = {1.2, 1.8, 3.1, 4.2, 4.9, 5.6};
+  PairedComparison c1 = PairedBootstrap(a, b, 500, 11);
+  PairedComparison c2 = PairedBootstrap(a, b, 500, 11);
+  EXPECT_EQ(c1.p_value, c2.p_value);
+  EXPECT_EQ(c1.diff_ci_low, c2.diff_ci_low);
+}
+
+}  // namespace
+}  // namespace m2g::metrics

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/optimizer.h"
+#include "nn/regularization.h"
+
+namespace m2g::nn {
+namespace {
+
+TEST(DropoutTest, RateZeroIsIdentity) {
+  Dropout dropout(0.0f, 1);
+  Tensor x = Tensor::Constant(Matrix(3, 4, std::vector<float>(12, 2.0f)));
+  Tensor y = dropout.Apply(x);
+  for (int i = 0; i < 12; ++i) EXPECT_FLOAT_EQ(y.value()[i], 2.0f);
+}
+
+TEST(DropoutTest, SurvivorsScaledPreservingExpectation) {
+  Dropout dropout(0.5f, 2);
+  Tensor x =
+      Tensor::Constant(Matrix(100, 100, std::vector<float>(10000, 1.0f)));
+  Tensor y = dropout.Apply(x);
+  double sum = 0;
+  int zeros = 0;
+  for (int i = 0; i < y.value().size(); ++i) {
+    const float v = y.value()[i];
+    EXPECT_TRUE(v == 0.0f || std::fabs(v - 2.0f) < 1e-6f);
+    sum += v;
+    zeros += v == 0.0f ? 1 : 0;
+  }
+  // Inverted dropout keeps the expectation ~1 per entry.
+  EXPECT_NEAR(sum / 10000.0, 1.0, 0.05);
+  EXPECT_NEAR(zeros / 10000.0, 0.5, 0.03);
+}
+
+TEST(DropoutTest, GradientsFlowThroughSurvivorsOnly) {
+  Dropout dropout(0.4f, 3);
+  Tensor w = Tensor::Parameter(Matrix(1, 50, std::vector<float>(50, 1.0f)));
+  Tensor y = dropout.Apply(w);
+  Sum(y).Backward();
+  for (int i = 0; i < 50; ++i) {
+    if (y.value()[i] == 0.0f) {
+      EXPECT_FLOAT_EQ(w.grad()[i], 0.0f);
+    } else {
+      EXPECT_NEAR(w.grad()[i], 1.0f / 0.6f, 1e-5f);
+    }
+  }
+}
+
+TEST(LayerNormTest, NormalizesRowsAtInit) {
+  Rng rng(4);
+  LayerNorm norm(8);
+  Tensor x = Tensor::Constant(Matrix::Random(5, 8, -3, 7, &rng));
+  Tensor y = norm.Forward(x);
+  for (int r = 0; r < 5; ++r) {
+    double mean = 0, var = 0;
+    for (int c = 0; c < 8; ++c) mean += y.value().At(r, c);
+    mean /= 8;
+    for (int c = 0; c < 8; ++c) {
+      const double d = y.value().At(r, c) - mean;
+      var += d * d;
+    }
+    var /= 8;
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(var, 1.0, 1e-3);
+  }
+}
+
+TEST(LayerNormTest, GainBiasShapeAndCount) {
+  LayerNorm norm(16);
+  EXPECT_EQ(norm.ParameterCount(), 32);
+  EXPECT_EQ(norm.dim(), 16);
+}
+
+TEST(LayerNormTest, Gradcheck) {
+  Rng rng(5);
+  LayerNorm norm(6);
+  Tensor x = Tensor::Parameter(Matrix::Random(3, 6, -1, 1, &rng));
+  Tensor target = Tensor::Constant(Matrix::Random(3, 6, -1, 1, &rng));
+  auto loss_fn = [&] {
+    Tensor diff = Sub(norm.Forward(x), target);
+    return Mean(Mul(diff, diff));
+  };
+  // Check x and the norm's own parameters numerically.
+  auto check = [&](const Tensor& p) {
+    p.ZeroGrad();
+    for (const Tensor& q : norm.Parameters()) q.ZeroGrad();
+    loss_fn().Backward();
+    Matrix analytic = p.grad();
+    Matrix& w = p.node()->value;
+    const float eps = 1e-2f;
+    for (int i = 0; i < w.size(); ++i) {
+      const float orig = w[i];
+      w[i] = orig + eps;
+      const float up = loss_fn().item();
+      w[i] = orig - eps;
+      const float down = loss_fn().item();
+      w[i] = orig;
+      const float numeric = (up - down) / (2 * eps);
+      EXPECT_NEAR(analytic[i], numeric,
+                  2e-2f * std::max(1.0f, std::fabs(numeric)))
+          << "index " << i;
+    }
+  };
+  check(x);
+  for (const Tensor& p : norm.Parameters()) check(p);
+}
+
+TEST(AdamWTest, WeightDecayShrinksUnusedWeights) {
+  // With zero gradient signal, AdamW decay pulls weights toward zero;
+  // plain Adam leaves them untouched.
+  auto run = [](float decay) {
+    Tensor w = Tensor::Parameter(Matrix(1, 1, {4.0f}));
+    Adam opt({w}, 0.1f, 0.9f, 0.999f, 1e-8f, decay);
+    for (int i = 0; i < 50; ++i) {
+      opt.ZeroGrad();
+      // A loss independent of w still allocates its grad (stays zero).
+      Sum(Scale(w, 0.0f)).Backward();
+      opt.Step();
+    }
+    return w.value()[0];
+  };
+  EXPECT_NEAR(run(0.0f), 4.0f, 1e-5f);
+  EXPECT_LT(run(0.1f), 4.0f * std::pow(1.0f - 0.1f * 0.1f, 45));
+}
+
+TEST(AdamWTest, StillMinimizesWithDecay) {
+  Tensor w = Tensor::Parameter(Matrix(1, 1, {5.0f}));
+  Adam opt({w}, 0.05f, 0.9f, 0.999f, 1e-8f, 0.01f);
+  for (int i = 0; i < 400; ++i) {
+    opt.ZeroGrad();
+    Tensor diff = AddScalar(w, -2.0f);
+    Sum(Mul(diff, diff)).Backward();
+    opt.Step();
+  }
+  // Decay biases slightly below the unregularized optimum of 2.
+  EXPECT_NEAR(w.value()[0], 2.0f, 0.15f);
+}
+
+}  // namespace
+}  // namespace m2g::nn

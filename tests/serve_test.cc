@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/trainer.h"
+#include "serve/eta_service.h"
+#include "serve/graph_builder.h"
+#include "serve/order_sorting_service.h"
+
+namespace m2g::serve {
+namespace {
+
+struct ServeFixture {
+  synth::DataConfig data_config;
+  synth::BuiltWorld built;
+  std::unique_ptr<core::M2g4Rtp> model;
+
+  ServeFixture()
+      : data_config([] {
+          synth::DataConfig dc;
+          dc.seed = 707;
+          dc.world.num_aois = 70;
+          dc.world.num_districts = 3;
+          dc.couriers.num_couriers = 6;
+          dc.num_days = 6;
+          return dc;
+        }()),
+        built(synth::BuildWorldAndDataset(data_config)) {
+    core::ModelConfig mc;
+    mc.hidden_dim = 16;
+    mc.num_heads = 2;
+    mc.num_layers = 1;
+    mc.aoi_id_embed_dim = 4;
+    mc.aoi_type_embed_dim = 2;
+    mc.lstm_hidden_dim = 16;
+    mc.courier_dim = 8;
+    mc.pos_enc_dim = 4;
+    model = std::make_unique<core::M2g4Rtp>(mc);
+    core::TrainConfig tc;
+    tc.epochs = 1;
+    tc.max_samples_per_epoch = 30;
+    core::Trainer trainer(model.get(), tc);
+    trainer.Fit(built.splits.train, built.splits.val);
+  }
+
+  RtpRequest RequestFromSample(const synth::Sample& s) const {
+    RtpRequest req;
+    req.courier = s.courier;
+    req.courier_pos = s.courier_pos;
+    req.query_time_min = s.query_time_min;
+    req.weather = s.weather;
+    req.weekday = s.weekday;
+    for (const synth::LocationTask& task : s.locations) {
+      synth::Order o;
+      o.id = task.order_id;
+      o.pos = task.pos;
+      o.aoi_id = task.aoi_id;
+      o.accept_time_min = task.accept_time_min;
+      o.deadline_min = task.deadline_min;
+      req.pending.push_back(o);
+    }
+    return req;
+  }
+};
+
+ServeFixture* Fixture() {
+  static ServeFixture* fixture = new ServeFixture();
+  return fixture;
+}
+
+TEST(FeatureExtractorTest, ReconstructsOfflineSampleExactly) {
+  // The online feature path must produce the same sample the offline
+  // snapshot pipeline produced (minus labels).
+  ServeFixture* f = Fixture();
+  FeatureExtractor extractor(&f->built.world);
+  const synth::Sample& offline = f->built.splits.test.samples.front();
+  synth::Sample online =
+      extractor.BuildSample(f->RequestFromSample(offline));
+  ASSERT_EQ(online.num_locations(), offline.num_locations());
+  ASSERT_EQ(online.num_aois(), offline.num_aois());
+  EXPECT_EQ(online.loc_to_aoi, offline.loc_to_aoi);
+  EXPECT_EQ(online.aoi_node_ids, offline.aoi_node_ids);
+  for (int i = 0; i < online.num_locations(); ++i) {
+    EXPECT_EQ(online.locations[i].order_id, offline.locations[i].order_id);
+    EXPECT_EQ(online.locations[i].aoi_type, offline.locations[i].aoi_type);
+    EXPECT_NEAR(online.locations[i].dist_from_courier_m,
+                offline.locations[i].dist_from_courier_m, 1e-6);
+  }
+  EXPECT_TRUE(online.route_label.empty());  // no labels online
+}
+
+TEST(GraphBuilderTest, OnlineGraphMatchesOffline) {
+  ServeFixture* f = Fixture();
+  FeatureExtractor extractor(&f->built.world);
+  GraphBuilder builder;
+  const synth::Sample& offline = f->built.splits.test.samples.front();
+  synth::Sample online =
+      extractor.BuildSample(f->RequestFromSample(offline));
+  graph::MultiLevelGraph og =
+      graph::BuildMultiLevelGraph(offline, builder.config());
+  graph::MultiLevelGraph ng = builder.Build(online);
+  EXPECT_EQ(og.location.adjacency, ng.location.adjacency);
+  EXPECT_EQ(og.aoi.adjacency, ng.aoi.adjacency);
+  for (int i = 0; i < og.location.node_continuous.size(); ++i) {
+    EXPECT_FLOAT_EQ(og.location.node_continuous[i],
+                    ng.location.node_continuous[i]);
+  }
+}
+
+TEST(RtpServiceTest, HandleServesJointPrediction) {
+  ServeFixture* f = Fixture();
+  RtpService service(&f->built.world, f->model.get());
+  const synth::Sample& s = f->built.splits.test.samples.front();
+  RtpService::Response response = service.Handle(f->RequestFromSample(s));
+  EXPECT_EQ(static_cast<int>(response.prediction.location_route.size()),
+            s.num_locations());
+  EXPECT_EQ(service.requests_served(), 1);
+}
+
+TEST(RtpServiceTest, OnlinePredictionMatchesOfflinePrediction) {
+  // The deployed path and the offline eval path must agree bit-for-bit:
+  // same features, same graph, same model.
+  ServeFixture* f = Fixture();
+  RtpService service(&f->built.world, f->model.get());
+  const synth::Sample& s = f->built.splits.test.samples.front();
+  core::RtpPrediction offline = f->model->Predict(s);
+  RtpService::Response online = service.Handle(f->RequestFromSample(s));
+  EXPECT_EQ(online.prediction.location_route, offline.location_route);
+  EXPECT_EQ(online.prediction.aoi_route, offline.aoi_route);
+}
+
+TEST(OrderSortingServiceTest, RanksEveryPendingOrderOnce) {
+  ServeFixture* f = Fixture();
+  RtpService service(&f->built.world, f->model.get());
+  OrderSortingService sorting(&service);
+  const synth::Sample& s = f->built.splits.test.samples.front();
+  auto sorted = sorting.Sort(f->RequestFromSample(s));
+  ASSERT_EQ(static_cast<int>(sorted.size()), s.num_locations());
+  std::vector<int> ids;
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    EXPECT_EQ(sorted[i].rank, static_cast<int>(i));
+    ids.push_back(sorted[i].order_id);
+  }
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(std::unique(ids.begin(), ids.end()), ids.end());
+}
+
+TEST(EtaServiceTest, EtasAlignWithRouteRanks) {
+  ServeFixture* f = Fixture();
+  RtpService service(&f->built.world, f->model.get());
+  EtaService eta(&service);
+  const synth::Sample& s = f->built.splits.test.samples.front();
+  auto etas = eta.Estimate(f->RequestFromSample(s));
+  ASSERT_EQ(static_cast<int>(etas.size()), s.num_locations());
+  for (const auto& e : etas) {
+    EXPECT_GE(e.eta_minutes, 0.0);
+    EXPECT_GE(e.stops_before, 0);
+    EXPECT_LT(e.stops_before, s.num_locations());
+  }
+}
+
+TEST(EtaServiceTest, NotifyFiresOnlyWithinThreshold) {
+  ServeFixture* f = Fixture();
+  RtpService service(&f->built.world, f->model.get());
+  EtaService::Config config;
+  config.notify_within_minutes = 15.0;
+  EtaService eta(&service, config);
+  const synth::Sample& s = f->built.splits.test.samples.front();
+  for (const auto& e : eta.Estimate(f->RequestFromSample(s))) {
+    EXPECT_EQ(e.notify_user, e.eta_minutes <= 15.0);
+  }
+}
+
+TEST(EtaServiceTest, EstimateOrderFindsAndRejects) {
+  ServeFixture* f = Fixture();
+  RtpService service(&f->built.world, f->model.get());
+  EtaService eta(&service);
+  const synth::Sample& s = f->built.splits.test.samples.front();
+  RtpRequest req = f->RequestFromSample(s);
+  auto found = eta.EstimateOrder(req, s.locations[0].order_id);
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(found.value().order_id, s.locations[0].order_id);
+  auto missing = eta.EstimateOrder(req, -1234);
+  EXPECT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace m2g::serve

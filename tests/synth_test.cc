@@ -1,0 +1,320 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "synth/dataset.h"
+
+namespace m2g::synth {
+namespace {
+
+DataConfig SmallConfig() {
+  DataConfig config;
+  config.seed = 77;
+  config.world.num_aois = 80;
+  config.world.num_districts = 4;
+  config.couriers.num_couriers = 8;
+  config.num_days = 6;
+  return config;
+}
+
+TEST(WorldTest, GeneratesRequestedAois) {
+  Rng rng(1);
+  WorldConfig wc;
+  wc.num_aois = 50;
+  World world = GenerateWorld(wc, &rng);
+  EXPECT_EQ(world.num_aois(), 50);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(world.aoi(i).id, i);
+    EXPECT_GE(world.aoi(i).district, 0);
+    EXPECT_LT(world.aoi(i).district, wc.num_districts);
+  }
+}
+
+TEST(WorldTest, AoisStayNearCity) {
+  Rng rng(2);
+  WorldConfig wc;
+  World world = GenerateWorld(wc, &rng);
+  for (const Aoi& a : world.aois()) {
+    // Within ~50km of the center (3-4 sigma of spread sums).
+    EXPECT_LT(geo::ApproxMeters(a.center, wc.city_center), 50000.0);
+  }
+}
+
+TEST(WorldTest, SamplePointInsideRadius) {
+  Rng rng(3);
+  WorldConfig wc;
+  World world = GenerateWorld(wc, &rng);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int id = rng.UniformInt(0, world.num_aois() - 1);
+    geo::LatLng p = world.SamplePointInAoi(id, &rng);
+    EXPECT_LE(geo::ApproxMeters(p, world.aoi(id).center),
+              world.aoi(id).radius_m * 1.01);
+  }
+}
+
+TEST(CourierTest, ProfilesWithinDocumentedRanges) {
+  Rng rng(4);
+  WorldConfig wc;
+  World world = GenerateWorld(wc, &rng);
+  CourierConfig cc;
+  cc.num_couriers = 20;
+  auto couriers = GenerateCouriers(world, cc, &rng);
+  ASSERT_EQ(couriers.size(), 20u);
+  for (const CourierProfile& c : couriers) {
+    EXPECT_GE(c.avg_speed_mps, 2.8);
+    EXPECT_LE(c.avg_speed_mps, 5.2);
+    EXPECT_GE(c.attendance, 0.8);
+    EXPECT_LE(c.attendance, 1.0);
+    EXPECT_GE(static_cast<int>(c.served_aois.size()), cc.min_aois_served);
+    EXPECT_LE(static_cast<int>(c.served_aois.size()), cc.max_aois_served);
+    EXPECT_EQ(c.served_aois.size(), c.aoi_preference.size());
+    // served_aois sorted and unique.
+    for (size_t i = 1; i < c.served_aois.size(); ++i) {
+      EXPECT_LT(c.served_aois[i - 1], c.served_aois[i]);
+    }
+  }
+}
+
+TEST(CourierTest, AoiPreferenceNeutralForUnserved) {
+  CourierProfile c;
+  c.served_aois = {2, 5};
+  c.aoi_preference = {0.1, 0.9};
+  EXPECT_DOUBLE_EQ(AoiPreference(c, 2), 0.1);
+  EXPECT_DOUBLE_EQ(AoiPreference(c, 5), 0.9);
+  EXPECT_DOUBLE_EQ(AoiPreference(c, 3), 0.5);
+}
+
+TEST(TimeModelTest, WeatherSlowsTravel) {
+  TimeModel tm;
+  CourierProfile c;
+  c.avg_speed_mps = 4.0;
+  geo::LatLng a{30.25, 120.17};
+  geo::LatLng b = geo::OffsetMeters(a, 2000, 0);
+  const double clear = tm.ExpectedTravelMinutes(c, a, b, 0, 1);
+  const double storm = tm.ExpectedTravelMinutes(c, a, b, 3, 1);
+  EXPECT_GT(storm, clear * 1.5);
+}
+
+TEST(TimeModelTest, TravelScalesWithDistanceAndSpeed) {
+  TimeModel tm;
+  CourierProfile slow, fast;
+  slow.avg_speed_mps = 3.0;
+  fast.avg_speed_mps = 6.0;
+  geo::LatLng a{30.25, 120.17};
+  geo::LatLng near = geo::OffsetMeters(a, 500, 0);
+  geo::LatLng far = geo::OffsetMeters(a, 5000, 0);
+  EXPECT_GT(tm.ExpectedTravelMinutes(slow, a, far, 0, 0),
+            tm.ExpectedTravelMinutes(slow, a, near, 0, 0));
+  EXPECT_NEAR(tm.ExpectedTravelMinutes(slow, a, far, 0, 0),
+              2 * tm.ExpectedTravelMinutes(fast, a, far, 0, 0), 1e-9);
+}
+
+TEST(RoutePolicyTest, CriticalDeadlineOverridesHabit) {
+  TimeModel tm;
+  RoutePolicy policy(&tm);
+  CourierProfile c;
+  c.avg_speed_mps = 4.0;
+  geo::LatLng base{30.25, 120.17};
+  std::vector<Order> pending(3);
+  for (int i = 0; i < 3; ++i) {
+    pending[i].id = i;
+    pending[i].aoi_id = i;
+    pending[i].pos = geo::OffsetMeters(base, 100.0 * (i + 1), 0);
+    pending[i].deadline_min = 500.0;
+  }
+  pending[2].deadline_min = 103.0;  // 3 min slack at now=100 -> critical
+  Rng rng(5);
+  const int pick = policy.PickNext(c, base, 100.0, -1, pending, 0, 0, &rng);
+  EXPECT_EQ(pick, 2);
+}
+
+TEST(RoutePolicyTest, PrefersFinishingCurrentAoi) {
+  TimeModel tm;
+  RoutePolicy::Params params;
+  params.stay_in_aoi_prob = 1.0;  // deterministic for the test
+  params.intra_choice_temp = 0.0;
+  RoutePolicy policy(&tm, params);
+  CourierProfile c;
+  c.avg_speed_mps = 4.0;
+  geo::LatLng base{30.25, 120.17};
+  std::vector<Order> pending(4);
+  for (int i = 0; i < 4; ++i) {
+    pending[i].id = i;
+    pending[i].deadline_min = 500.0;
+  }
+  // Orders 0,1 in AOI 7; orders 2,3 in AOI 9 but *closer* to the courier.
+  pending[0].aoi_id = 7;
+  pending[0].pos = geo::OffsetMeters(base, 900, 0);
+  pending[1].aoi_id = 7;
+  pending[1].pos = geo::OffsetMeters(base, 950, 0);
+  pending[2].aoi_id = 9;
+  pending[2].pos = geo::OffsetMeters(base, 50, 0);
+  pending[3].aoi_id = 9;
+  pending[3].pos = geo::OffsetMeters(base, 60, 0);
+  Rng rng(6);
+  const int pick =
+      policy.PickNext(c, base, 100.0, /*current_aoi=*/7, pending, 0, 0,
+                      &rng);
+  EXPECT_EQ(pending[pick].aoi_id, 7);
+}
+
+TEST(DaySimulatorTest, ServesEveryOrderExactlyOnce) {
+  DataConfig config = SmallConfig();
+  World world(config.world, {});
+  std::vector<CourierProfile> couriers;
+  auto trips = SimulateAllTrips(config, &world, &couriers);
+  ASSERT_FALSE(trips.empty());
+  std::set<int> order_ids;
+  for (const TripRecord& trip : trips) {
+    EXPECT_GE(static_cast<int>(trip.served.size()),
+              config.trips.min_locations_per_trip);
+    EXPECT_LE(static_cast<int>(trip.served.size()),
+              config.trips.max_locations_per_trip);
+    double prev_arrival = trip.start_time_min;
+    for (const ServedOrder& so : trip.served) {
+      EXPECT_TRUE(order_ids.insert(so.order.id).second)
+          << "order served twice";
+      // Arrivals strictly increase along the realized route.
+      EXPECT_GT(so.arrival_time_min, prev_arrival);
+      EXPECT_GT(so.departure_time_min, so.arrival_time_min);
+      prev_arrival = so.arrival_time_min;
+    }
+  }
+}
+
+TEST(DaySimulatorTest, AoiClusteringSignalExists) {
+  // The paper's §V-A analysis: couriers complete most of an AOI before
+  // leaving it, so realized routes have far fewer AOI transfers than a
+  // random service order over the same trips would produce.
+  DataConfig config = SmallConfig();
+  auto trips = SimulateAllTrips(config, nullptr, nullptr);
+  TransferStats actual = ComputeTransferStats(trips);
+  EXPECT_GT(actual.avg_location_transfers_per_day, 0);
+
+  Rng rng(123);
+  std::vector<TripRecord> shuffled = trips;
+  for (TripRecord& trip : shuffled) rng.Shuffle(&trip.served);
+  TransferStats random = ComputeTransferStats(shuffled);
+
+  EXPECT_LT(actual.avg_aoi_transfers_per_day,
+            0.75 * random.avg_aoi_transfers_per_day);
+  // And AOI transfers are a strict minority of location transfers.
+  EXPECT_LT(actual.avg_aoi_transfers_per_day,
+            actual.avg_location_transfers_per_day);
+}
+
+TEST(DatasetTest, SnapshotLabelsAreConsistent) {
+  DataConfig config = SmallConfig();
+  DatasetSplits splits = BuildDataset(config);
+  ASSERT_GT(splits.train.size(), 0);
+  for (const Dataset* ds : {&splits.train, &splits.val, &splits.test}) {
+    for (const Sample& s : ds->samples) {
+      const int n = s.num_locations();
+      const int m = s.num_aois();
+      ASSERT_GE(n, config.min_locations);
+      ASSERT_LE(n, config.max_locations);
+      ASSERT_LE(m, config.max_aois);
+      ASSERT_EQ(static_cast<int>(s.route_label.size()), n);
+      ASSERT_EQ(static_cast<int>(s.time_label_min.size()), n);
+      ASSERT_EQ(static_cast<int>(s.aoi_route_label.size()), m);
+      ASSERT_EQ(static_cast<int>(s.loc_to_aoi.size()), n);
+      // Route labels are permutations.
+      std::set<int> seen(s.route_label.begin(), s.route_label.end());
+      EXPECT_EQ(static_cast<int>(seen.size()), n);
+      // Arrival gaps positive and increasing along the route.
+      double prev = 0;
+      for (int j = 0; j < n; ++j) {
+        const double gap = s.time_label_min[s.route_label[j]];
+        EXPECT_GT(gap, prev);
+        prev = gap;
+      }
+      // AOI arrival = arrival at first location of that AOI.
+      std::set<int> first_seen;
+      for (int j = 0; j < n; ++j) {
+        const int loc = s.route_label[j];
+        const int aoi = s.loc_to_aoi[loc];
+        if (first_seen.insert(aoi).second) {
+          EXPECT_DOUBLE_EQ(s.aoi_time_label_min[aoi],
+                           s.time_label_min[loc]);
+        }
+      }
+      // aoi_route_label = order of first AOI entry.
+      std::vector<int> expected_aoi_route;
+      std::set<int> entered;
+      for (int j = 0; j < n; ++j) {
+        const int aoi = s.loc_to_aoi[s.route_label[j]];
+        if (entered.insert(aoi).second) expected_aoi_route.push_back(aoi);
+      }
+      EXPECT_EQ(s.aoi_route_label, expected_aoi_route);
+    }
+  }
+}
+
+TEST(DatasetTest, SplitIsByDayAndOrdered) {
+  DataConfig config = SmallConfig();
+  DatasetSplits splits = BuildDataset(config);
+  int max_train_day = -1, min_val_day = 1 << 20, max_val_day = -1,
+      min_test_day = 1 << 20;
+  for (const Sample& s : splits.train.samples) {
+    max_train_day = std::max(max_train_day, s.day);
+  }
+  for (const Sample& s : splits.val.samples) {
+    min_val_day = std::min(min_val_day, s.day);
+    max_val_day = std::max(max_val_day, s.day);
+  }
+  for (const Sample& s : splits.test.samples) {
+    min_test_day = std::min(min_test_day, s.day);
+  }
+  EXPECT_LT(max_train_day, min_val_day);
+  EXPECT_LT(max_val_day, min_test_day);
+}
+
+TEST(DatasetTest, DeterministicForFixedSeed) {
+  DataConfig config = SmallConfig();
+  DatasetSplits a = BuildDataset(config);
+  DatasetSplits b = BuildDataset(config);
+  ASSERT_EQ(a.train.size(), b.train.size());
+  for (int i = 0; i < a.train.size(); ++i) {
+    EXPECT_EQ(a.train.samples[i].route_label, b.train.samples[i].route_label);
+    EXPECT_EQ(a.train.samples[i].query_time_min,
+              b.train.samples[i].query_time_min);
+  }
+}
+
+TEST(DatasetTest, DifferentSeedsGiveDifferentData) {
+  DataConfig a = SmallConfig();
+  DataConfig b = SmallConfig();
+  b.seed = a.seed + 1;
+  DatasetSplits sa = BuildDataset(a);
+  DatasetSplits sb = BuildDataset(b);
+  ASSERT_GT(sa.train.size(), 0);
+  bool any_diff = sa.train.size() != sb.train.size();
+  if (!any_diff) {
+    for (int i = 0; i < sa.train.size() && !any_diff; ++i) {
+      any_diff = sa.train.samples[i].query_time_min !=
+                 sb.train.samples[i].query_time_min;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(DatasetTest, StatsMatchPaperShape) {
+  // Default-scale dataset must land near the paper's Figure 4 statistics.
+  DataConfig config;  // default
+  DatasetSplits splits = BuildDataset(config);
+  Dataset all;
+  for (const Dataset* ds : {&splits.train, &splits.val, &splits.test}) {
+    for (const Sample& s : ds->samples) all.samples.push_back(s);
+  }
+  DataStats stats = ComputeDataStats(all);
+  EXPECT_GT(stats.num_samples, 500);
+  // Paper: 7.64 locations, 4.08 AOIs, ~60 min mean arrival gap.
+  EXPECT_NEAR(stats.mean_locations_per_sample, 7.6, 2.5);
+  EXPECT_NEAR(stats.mean_aois_per_sample, 4.1, 1.5);
+  EXPECT_NEAR(stats.mean_location_arrival_gap_min, 60.0, 25.0);
+  EXPECT_NEAR(stats.mean_aoi_arrival_gap_min,
+              stats.mean_location_arrival_gap_min, 15.0);
+}
+
+}  // namespace
+}  // namespace m2g::synth
