@@ -1,0 +1,126 @@
+// Execution-layer scaling bench: training throughput and serving QPS at
+// 1/2/4/8 threads, plus grad-mode vs no-grad single-request latency.
+// Speedups are only visible on multi-core machines (the thread pool runs
+// shards inline when it has a single worker); correctness is identical at
+// every thread count.
+//
+// Scale knobs: M2G_BENCH_MAX_SAMPLES (default 120 train samples) and
+// M2G_BENCH_REQUESTS (default 64 replayed requests).
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+#include "core/trainer.h"
+#include "serve/replay.h"
+#include "serve/rtp_service.h"
+#include "tensor/grad_mode.h"
+
+namespace {
+
+using namespace m2g;
+
+int EnvInt(const char* name, int fallback) {
+  if (const char* v = std::getenv(name)) {
+    const int n = std::atoi(v);
+    if (n > 0) return n;
+  }
+  return fallback;
+}
+
+core::ModelConfig BenchModelConfig() {
+  core::ModelConfig mc;  // paper-scale defaults
+  return mc;
+}
+
+}  // namespace
+
+int main() {
+  const int max_samples = EnvInt("M2G_BENCH_MAX_SAMPLES", 120);
+  const int num_requests = EnvInt("M2G_BENCH_REQUESTS", 64);
+  const std::vector<int> thread_counts = {1, 2, 4, 8};
+
+  synth::BuiltWorld built =
+      synth::BuildWorldAndDataset(bench::StandardDataConfig());
+  std::printf("hardware threads: %d\n\n", HardwareThreads());
+
+  // --- Training throughput: one epoch over the same samples per t. ---
+  std::printf("Training throughput (1 epoch, %d samples)\n", max_samples);
+  std::printf("%8s %12s %14s %9s\n", "threads", "seconds", "samples/sec",
+              "speedup");
+  double serial_seconds = 0;
+  for (int t : thread_counts) {
+    core::M2g4Rtp model(BenchModelConfig());
+    core::TrainConfig tc;
+    tc.epochs = 1;
+    tc.max_samples_per_epoch = max_samples;
+    tc.threads = t;
+    core::Trainer trainer(&model, tc);
+    Stopwatch watch;
+    trainer.Fit(built.splits.train, built.splits.val);
+    const double seconds = watch.ElapsedSeconds();
+    if (t == 1) serial_seconds = seconds;
+    std::printf("%8d %12.3f %14.1f %8.2fx\n", t, seconds,
+                max_samples / seconds,
+                serial_seconds > 0 ? serial_seconds / seconds : 0.0);
+  }
+
+  // --- Serving QPS: concurrent replay of the same request set per t. ---
+  core::M2g4Rtp model(BenchModelConfig());
+  {
+    core::TrainConfig tc;
+    tc.epochs = 1;
+    tc.max_samples_per_epoch = 60;
+    core::Trainer trainer(&model, tc);
+    trainer.Fit(built.splits.train, built.splits.val);
+  }
+  serve::RtpService service(&built.world, &model);
+  std::vector<serve::RtpRequest> requests;
+  const auto& test = built.splits.test.samples;
+  for (int i = 0; i < num_requests && !test.empty(); ++i) {
+    requests.push_back(
+        serve::RequestFromSample(test[i % test.size()]));
+  }
+  std::printf("\nServing throughput (%zu requests, concurrent replay)\n",
+              requests.size());
+  std::printf("%8s %12s %14s %9s\n", "threads", "seconds", "requests/sec",
+              "speedup");
+  double serial_qps = 0;
+  for (int t : thread_counts) {
+    serve::ConcurrentReplayResult r =
+        serve::ReplayConcurrently(service, requests, t);
+    if (t == 1) serial_qps = r.requests_per_second;
+    std::printf("%8d %12.3f %14.1f %8.2fx\n", t, r.wall_seconds,
+                r.requests_per_second,
+                serial_qps > 0 ? r.requests_per_second / serial_qps : 0.0);
+  }
+
+  // --- Grad-mode vs no-grad single-request latency. ---
+  const int probes =
+      static_cast<int>(std::min<size_t>(32, test.size()));
+  double grad_ms = 0, no_grad_ms = 0;
+  for (int i = 0; i < probes; ++i) {
+    Stopwatch watch;
+    core::RtpPrediction pred = model.Predict(test[i]);
+    grad_ms += watch.ElapsedMillis();
+    if (pred.location_route.empty()) std::fprintf(stderr, "!");
+  }
+  {
+    NoGradGuard no_grad;
+    for (int i = 0; i < probes; ++i) {
+      Stopwatch watch;
+      core::RtpPrediction pred = model.Predict(test[i]);
+      no_grad_ms += watch.ElapsedMillis();
+      if (pred.location_route.empty()) std::fprintf(stderr, "!");
+    }
+  }
+  std::printf("\nSingle-request inference over %d samples\n", probes);
+  std::printf("  grad-mode mean: %8.3f ms\n", grad_ms / probes);
+  std::printf("  no-grad mean:   %8.3f ms (%.2fx)\n", no_grad_ms / probes,
+              no_grad_ms > 0 ? grad_ms / no_grad_ms : 0.0);
+  return 0;
+}

@@ -69,6 +69,11 @@ int main(int argc, char** argv) {
         eval::MeasureLatency(*ctx->models.at(name),
                              ctx->splits.test.samples));
   }
+  // Extra row: M2G4RTP under NoGradGuard (the serving path) — same
+  // forward values, no autograd graph built.
+  rows.push_back(eval::MeasureLatency(*ctx->models.at("M2G4RTP"),
+                                      ctx->splits.test.samples,
+                                      /*no_grad=*/true));
   std::printf("\n");
   eval::PrintScalabilityTable(rows);
   std::printf(

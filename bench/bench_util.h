@@ -23,6 +23,8 @@ inline synth::DataConfig StandardDataConfig() {
 ///   M2G_BENCH_EPOCHS       (default 15, early-stopped)
 ///   M2G_BENCH_MAX_SAMPLES  (default 0 = all train samples per epoch)
 ///   M2G_BENCH_SEEDS        (default 3: tables report mean±std)
+///   M2G_BENCH_THREADS      (default 1; 0 = all cores — parallelizes the
+///                           comparison grid and each trainer)
 ///   M2G_BENCH_FAST=1       (shorthand for 2 epochs / 150 samples / 1 seed)
 inline eval::EvalScale StandardScale() {
   eval::EvalScale scale;
@@ -40,6 +42,9 @@ inline eval::EvalScale StandardScale() {
   }
   if (const char* s = std::getenv("M2G_BENCH_SEEDS")) {
     scale.num_seeds = std::atoi(s);
+  }
+  if (const char* t = std::getenv("M2G_BENCH_THREADS")) {
+    scale.threads = std::atoi(t);
   }
   return scale;
 }

@@ -3,6 +3,7 @@
 //   m2g_cli generate --days 18 --couriers 30 --out splits.bin [--csv t.csv]
 //   m2g_cli train    --data splits.bin --out weights.bin [--epochs 15]
 //                    [--hidden 48] [--weight-decay 0.0] [--beam 1]
+//                    [--threads 1]
 //   m2g_cli eval     --data splits.bin --weights weights.bin
 //   m2g_cli predict  --data splits.bin --weights weights.bin --sample 0
 //
@@ -30,7 +31,7 @@ int Usage() {
       "usage: m2g_cli <generate|train|eval|predict> [--flags]\n"
       "  generate --days N --couriers N --seed S [--out FILE] [--csv FILE]\n"
       "  train    --data FILE --out FILE [--epochs N] [--hidden N]\n"
-      "           [--weight-decay X] [--lr X]\n"
+      "           [--weight-decay X] [--lr X] [--threads N]\n"
       "  eval     --data FILE --weights FILE [--hidden N] [--beam N]\n"
       "  predict  --data FILE --weights FILE --sample I [--hidden N]\n");
   return 2;
@@ -109,6 +110,9 @@ int Train(const FlagParser& flags) {
   tc.weight_decay =
       static_cast<float>(flags.GetDouble("weight-decay", 0.0));
   tc.verbose = flags.GetBool("verbose", true);
+  // --threads 1 is the bitwise-reproducible serial trainer; N > 1 runs
+  // data-parallel batches; 0 uses every core (M2G_THREADS overridable).
+  tc.threads = flags.GetInt("threads", 1);
   core::Trainer trainer(&model, tc);
   trainer.Fit(data.value().train, data.value().val);
   Status s = model.Save(out);

@@ -1,0 +1,139 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+
+#include "common/check.h"
+
+namespace m2g {
+namespace {
+
+thread_local bool t_in_pool_worker = false;
+
+std::atomic<int> g_default_threads{0};
+
+}  // namespace
+
+/// One ParallelForShards call. Shards are claimed with an atomic counter,
+/// so any mix of workers and the calling thread can drain the job; `done`
+/// (mutex-guarded) signals completion back to the caller.
+struct ThreadPool::Job {
+  std::function<void(int, int64_t, int64_t)> fn;
+  int shards = 0;
+  int64_t n = 0;
+  std::atomic<int> next{0};
+  int done = 0;
+  std::mutex m;
+  std::condition_variable done_cv;
+
+  /// Claims and runs one shard; false when the job is drained.
+  bool RunOne() {
+    const int s = next.fetch_add(1, std::memory_order_relaxed);
+    if (s >= shards) return false;
+    fn(s, n * s / shards, n * (s + 1) / shards);
+    {
+      std::lock_guard<std::mutex> lock(m);
+      ++done;
+    }
+    done_cv.notify_all();
+    return true;
+  }
+};
+
+ThreadPool::ThreadPool(int num_threads)
+    : num_threads_(std::max(1, num_threads)) {
+  workers_.reserve(num_threads_ - 1);
+  for (int i = 0; i < num_threads_ - 1; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  t_in_pool_worker = true;
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to run
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    while (job->RunOne()) {
+    }
+  }
+}
+
+void ThreadPool::ParallelForShards(
+    int64_t n, int shards,
+    const std::function<void(int shard, int64_t begin, int64_t end)>& fn) {
+  if (n <= 0) return;
+  if (shards <= 0) shards = num_threads_;
+  shards = static_cast<int>(std::min<int64_t>(shards, n));
+  // Serial pool, single shard, or nested call from a worker: run inline.
+  if (shards == 1 || workers_.empty() || InPoolWorker()) {
+    for (int s = 0; s < shards; ++s) {
+      fn(s, n * s / shards, n * (s + 1) / shards);
+    }
+    return;
+  }
+  auto job = std::make_shared<Job>();
+  job->fn = fn;
+  job->shards = shards;
+  job->n = n;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // The caller claims shards too, so shards - 1 tokens suffice.
+    for (int s = 1; s < shards; ++s) queue_.push_back(job);
+  }
+  cv_.notify_all();
+  while (job->RunOne()) {
+  }
+  std::unique_lock<std::mutex> lock(job->m);
+  job->done_cv.wait(lock, [&job] { return job->done == job->shards; });
+}
+
+void ThreadPool::ParallelFor(int64_t n,
+                             const std::function<void(int64_t i)>& fn) {
+  ParallelForShards(n, 0, [&fn](int, int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) fn(i);
+  });
+}
+
+bool ThreadPool::InPoolWorker() { return t_in_pool_worker; }
+
+int HardwareThreads() {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<int>(hc);
+}
+
+int DefaultThreads() {
+  const int set = g_default_threads.load(std::memory_order_relaxed);
+  if (set > 0) return set;
+  if (const char* env = std::getenv("M2G_THREADS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return HardwareThreads();
+}
+
+void SetDefaultThreads(int threads) {
+  g_default_threads.store(threads > 0 ? threads : 0,
+                          std::memory_order_relaxed);
+}
+
+int ResolveThreads(int threads) {
+  return threads >= 1 ? threads : DefaultThreads();
+}
+
+}  // namespace m2g

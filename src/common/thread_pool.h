@@ -1,0 +1,84 @@
+#ifndef M2G_COMMON_THREAD_POOL_H_
+#define M2G_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace m2g {
+
+/// Fixed-size pool of worker threads behind the execution layer (parallel
+/// training batches, the eval comparison grid, concurrent request replay).
+///
+/// Dispatch model: the calling thread always participates, so a pool built
+/// with `num_threads == 1` spawns no workers at all and runs everything
+/// inline — exactly the serial code path. Work is split into contiguous
+/// *shards* whose ranges depend only on (n, shards), never on scheduling,
+/// so per-shard accumulators are deterministic for a fixed shard count no
+/// matter which thread runs which shard. Nested parallel sections issued
+/// from inside a pool task run inline on that worker instead of
+/// re-entering the queue (no deadlock, no thread explosion).
+class ThreadPool {
+ public:
+  /// Spawns `num_threads - 1` workers (the caller is the n-th thread).
+  /// `num_threads <= 0` is clamped to 1.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  /// Splits [0, n) into `shards` contiguous ranges (shard s covers
+  /// [n*s/shards, n*(s+1)/shards)) and runs fn(shard, begin, end) for each,
+  /// blocking until all complete. `shards <= 0` uses num_threads(); shards
+  /// is clamped to n so no empty shard is dispatched.
+  void ParallelForShards(
+      int64_t n, int shards,
+      const std::function<void(int shard, int64_t begin, int64_t end)>& fn);
+
+  /// Element-wise convenience over ParallelForShards with num_threads()
+  /// shards.
+  void ParallelFor(int64_t n, const std::function<void(int64_t i)>& fn);
+
+  /// True on any pool's worker thread (used to detect nesting).
+  static bool InPoolWorker();
+
+ private:
+  struct Job;
+  void WorkerLoop();
+
+  int num_threads_;
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  /// One claim token per outstanding shard; workers pop a token and then
+  /// claim shards from the job until it is drained.
+  std::deque<std::shared_ptr<Job>> queue_;
+};
+
+/// Hardware concurrency, at least 1.
+int HardwareThreads();
+
+/// Process-wide default thread count used wherever a `threads` knob is
+/// left at 0: an explicit SetDefaultThreads() value if set, else the
+/// M2G_THREADS environment variable, else HardwareThreads().
+int DefaultThreads();
+
+/// Overrides DefaultThreads() (0 restores the env/hardware default).
+void SetDefaultThreads(int threads);
+
+/// Resolves a config knob: values >= 1 pass through, <= 0 means
+/// DefaultThreads().
+int ResolveThreads(int threads);
+
+}  // namespace m2g
+
+#endif  // M2G_COMMON_THREAD_POOL_H_

@@ -93,7 +93,8 @@ Tensor M2g4Rtp::BuildLocationInputs(
 }
 
 Tensor M2g4Rtp::ComputeLoss(const synth::Sample& sample,
-                            LossBreakdown* breakdown) const {
+                            LossBreakdown* breakdown,
+                            Rng* guidance_rng) const {
   const graph::MultiLevelGraph g =
       BuildMultiLevelGraph(sample, config_.graph);
   Tensor u = global_embed_->Embed(sample);
@@ -123,8 +124,9 @@ Tensor M2g4Rtp::ComputeLoss(const synth::Sample& sample,
     // decoder sees no train/test mismatch — otherwise the teacher route
     // (faster early optimization). Gradients still flow through the
     // guide times into the shared encoder (unless two-step).
+    Rng* grng = guidance_rng != nullptr ? guidance_rng : &guidance_rng_;
     const bool predicted_guide =
-        guidance_rng_.NextDouble() < guidance_sampling_prob_;
+        grng->NextDouble() < guidance_sampling_prob_;
     guide_route = predicted_guide
                       ? aoi_route_decoder_->DecodeGreedy(x_a, u)
                       : sample.aoi_route_label;

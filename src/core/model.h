@@ -41,9 +41,14 @@ class M2g4Rtp : public nn::Module {
 
   /// Teacher-forced multi-task training loss for one sample (Eq. 37-41).
   /// The returned scalar tensor backpropagates into all four task heads
-  /// (subject to the ablation switches).
+  /// (subject to the ablation switches). `guidance_rng`, when non-null,
+  /// supplies the scheduled-sampling draw instead of the model's internal
+  /// stream — data-parallel trainers pass a per-sample Rng so concurrent
+  /// ComputeLoss calls are race-free and deterministic for any thread
+  /// count; the default (nullptr) preserves the serial stream exactly.
   Tensor ComputeLoss(const synth::Sample& sample,
-                     LossBreakdown* breakdown = nullptr) const;
+                     LossBreakdown* breakdown = nullptr,
+                     Rng* guidance_rng = nullptr) const;
 
   /// Greedy joint prediction (§IV-D).
   RtpPrediction Predict(const synth::Sample& sample) const;

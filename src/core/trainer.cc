@@ -5,11 +5,53 @@
 #include <numeric>
 
 #include "common/logging.h"
+#include "tensor/grad_buffer.h"
+#include "tensor/grad_mode.h"
 
 namespace m2g::core {
+namespace {
+
+/// splitmix64-style mix for per-sample guidance streams: deterministic in
+/// (seed, epoch, sample) and independent of the thread count, so
+/// data-parallel runs reproduce bitwise for any fixed --threads=N.
+uint64_t MixSeed(uint64_t seed, uint64_t salt, uint64_t index) {
+  uint64_t x = seed + 0x9e3779b97f4a7c15ULL * (salt + 1) +
+               0xbf58476d1ce4e5b9ULL * (index + 1);
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+constexpr uint64_t kEvalSalt = 0xe7a1;
+
+}  // namespace
+
+/// Everything one shard accumulates while walking its slice of a batch:
+/// leaf gradients (redirected via GradBufferScope) and loss statistics,
+/// reduced on the main thread in shard order.
+struct Trainer::ShardAccum {
+  internal::GradBuffer grads;
+  double loss_sum = 0;
+  double aoi_route = 0;
+  double location_route = 0;
+  double aoi_time = 0;
+  double location_time = 0;
+};
 
 Trainer::Trainer(M2g4Rtp* model, const TrainConfig& config)
     : model_(model), config_(config) {}
+
+Trainer::~Trainer() = default;
+
+ThreadPool* Trainer::Pool(int threads) const {
+  if (pool_ == nullptr || pool_->num_threads() < threads) {
+    pool_ = std::make_unique<ThreadPool>(threads);
+  }
+  return pool_.get();
+}
 
 void Trainer::SnapshotParams() {
   best_params_.clear();
@@ -29,16 +71,89 @@ void Trainer::RestoreParams() {
 
 float Trainer::Evaluate(const synth::Dataset& dataset) const {
   if (dataset.samples.empty()) return 0.0f;
-  double total = 0;
-  for (const synth::Sample& s : dataset.samples) {
-    total += model_->ComputeLoss(s).item();
+  // Evaluation never backpropagates: no-grad forward is bitwise-identical
+  // and skips all graph construction.
+  NoGradGuard no_grad;
+  const int threads = ResolveThreads(config_.threads);
+  if (threads == 1) {
+    double total = 0;
+    for (const synth::Sample& s : dataset.samples) {
+      total += model_->ComputeLoss(s).item();
+    }
+    return static_cast<float>(total / dataset.samples.size());
   }
+  const int64_t n = static_cast<int64_t>(dataset.samples.size());
+  std::vector<double> shard_totals(threads, 0.0);
+  Pool(threads)->ParallelForShards(
+      n, threads, [&](int shard, int64_t begin, int64_t end) {
+        NoGradGuard worker_no_grad;  // grad mode is thread-local
+        double total = 0;
+        for (int64_t i = begin; i < end; ++i) {
+          Rng grng(MixSeed(config_.shuffle_seed, kEvalSalt,
+                           static_cast<uint64_t>(i)));
+          total += model_->ComputeLoss(dataset.samples[i], nullptr, &grng)
+                       .item();
+        }
+        shard_totals[shard] = total;
+      });
+  double total = 0;
+  for (double t : shard_totals) total += t;
   return static_cast<float>(total / dataset.samples.size());
+}
+
+void Trainer::RunBatchParallel(const synth::Dataset& train,
+                               const std::vector<int>& order,
+                               int batch_begin, int batch_end, int epoch,
+                               int threads, double* epoch_loss,
+                               LossBreakdown* mean) {
+  const int count = batch_end - batch_begin;
+  std::vector<ShardAccum> accums(threads);
+  Pool(threads)->ParallelForShards(
+      count, threads, [&](int shard, int64_t begin, int64_t end) {
+        ShardAccum& acc = accums[shard];
+        internal::GradBufferScope scope(&acc.grads);
+        for (int64_t k = begin; k < end; ++k) {
+          const int idx = order[batch_begin + k];
+          // Per-sample guidance stream: race-free across workers and
+          // identical for every thread count.
+          Rng grng(MixSeed(config_.shuffle_seed,
+                           static_cast<uint64_t>(epoch),
+                           static_cast<uint64_t>(idx)));
+          LossBreakdown bd;
+          Tensor loss = model_->ComputeLoss(train.samples[idx], &bd, &grng);
+          Scale(loss, 1.0f / static_cast<float>(config_.batch_size))
+              .Backward();
+          acc.loss_sum += bd.total;
+          acc.aoi_route += bd.aoi_route;
+          acc.location_route += bd.location_route;
+          acc.aoi_time += bd.aoi_time;
+          acc.location_time += bd.location_time;
+        }
+      });
+  // Deterministic reduction: parameter order outer, shard index inner.
+  auto params = model_->Parameters();
+  for (const Tensor& p : params) {
+    internal::TensorNode* node = p.node().get();
+    for (int s = 0; s < threads; ++s) {
+      if (const Matrix* g = accums[s].grads.Find(node)) {
+        node->EnsureGrad().AddInPlace(*g);
+      }
+    }
+  }
+  for (int s = 0; s < threads; ++s) {
+    *epoch_loss += accums[s].loss_sum;
+    mean->aoi_route += static_cast<float>(accums[s].aoi_route);
+    mean->location_route += static_cast<float>(accums[s].location_route);
+    mean->aoi_time += static_cast<float>(accums[s].aoi_time);
+    mean->location_time += static_cast<float>(accums[s].location_time);
+  }
 }
 
 std::vector<EpochStats> Trainer::Fit(const synth::Dataset& train,
                                      const synth::Dataset& val) {
   M2G_CHECK(!train.samples.empty());
+  M2G_CHECK_GT(config_.batch_size, 0);
+  const int threads = ResolveThreads(config_.threads);
   nn::Adam optimizer(model_->Parameters(), config_.learning_rate, 0.9f,
                      0.999f, 1e-8f, config_.weight_decay);
   Rng rng(config_.shuffle_seed);
@@ -65,23 +180,33 @@ std::vector<EpochStats> Trainer::Fit(const synth::Dataset& train,
     double epoch_loss = 0;
     LossBreakdown mean{};
     optimizer.ZeroGrad();
-    int in_batch = 0;
-    for (int idx = 0; idx < limit; ++idx) {
-      LossBreakdown bd;
-      Tensor loss = model_->ComputeLoss(train.samples[order[idx]], &bd);
-      // Scale so a batch of accumulated gradients averages the samples.
-      Scale(loss, 1.0f / static_cast<float>(config_.batch_size)).Backward();
-      epoch_loss += bd.total;
-      mean.aoi_route += bd.aoi_route;
-      mean.location_route += bd.location_route;
-      mean.aoi_time += bd.aoi_time;
-      mean.location_time += bd.location_time;
-      if (++in_batch == config_.batch_size || idx + 1 == limit) {
-        optimizer.ClipGradNorm(config_.grad_clip_norm);
-        optimizer.Step();
-        optimizer.ZeroGrad();
-        in_batch = 0;
+    for (int batch_begin = 0; batch_begin < limit;
+         batch_begin += config_.batch_size) {
+      const int batch_end =
+          std::min(limit, batch_begin + config_.batch_size);
+      if (threads == 1) {
+        // The exact pre-refactor serial path: per-sample graphs
+        // accumulating straight into the shared parameter grads.
+        for (int idx = batch_begin; idx < batch_end; ++idx) {
+          LossBreakdown bd;
+          Tensor loss = model_->ComputeLoss(train.samples[order[idx]], &bd);
+          // Scale so a batch of accumulated gradients averages the
+          // samples.
+          Scale(loss, 1.0f / static_cast<float>(config_.batch_size))
+              .Backward();
+          epoch_loss += bd.total;
+          mean.aoi_route += bd.aoi_route;
+          mean.location_route += bd.location_route;
+          mean.aoi_time += bd.aoi_time;
+          mean.location_time += bd.location_time;
+        }
+      } else {
+        RunBatchParallel(train, order, batch_begin, batch_end, epoch,
+                         threads, &epoch_loss, &mean);
       }
+      optimizer.ClipGradNorm(config_.grad_clip_norm);
+      optimizer.Step();
+      optimizer.ZeroGrad();
     }
     EpochStats stats;
     stats.epoch = epoch;

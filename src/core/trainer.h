@@ -1,8 +1,10 @@
 #ifndef M2G_CORE_TRAINER_H_
 #define M2G_CORE_TRAINER_H_
 
+#include <memory>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "core/model.h"
 #include "nn/optimizer.h"
 
@@ -22,6 +24,14 @@ struct TrainConfig {
   bool verbose = false;
   /// Optional cap on train samples per epoch (0 = all), for quick runs.
   int max_samples_per_epoch = 0;
+  /// Data-parallel workers per accumulation batch. 1 (default) is the
+  /// exact serial trainer — bitwise-reproducible legacy behavior. N > 1
+  /// shards each batch over N workers with per-thread gradient buffers,
+  /// reduced deterministically (parameter order, then shard index), so
+  /// results are reproducible for a fixed N and match the serial run
+  /// within float tolerance. 0 resolves to DefaultThreads()
+  /// (M2G_THREADS env or hardware concurrency).
+  int threads = 1;
 };
 
 struct EpochStats {
@@ -37,21 +47,40 @@ struct EpochStats {
 class Trainer {
  public:
   Trainer(M2g4Rtp* model, const TrainConfig& config);
+  ~Trainer();
 
   /// Runs the full loop; returns per-epoch stats.
   std::vector<EpochStats> Fit(const synth::Dataset& train,
                               const synth::Dataset& val);
 
-  /// Mean total loss over a dataset (no gradient updates).
+  /// Mean total loss over a dataset (no gradient updates; runs the
+  /// forward passes under NoGradGuard, in parallel when threads > 1).
   float Evaluate(const synth::Dataset& dataset) const;
 
  private:
   void SnapshotParams();
   void RestoreParams();
 
+  /// Per-shard accumulation state of one data-parallel batch.
+  struct ShardAccum;
+
+  /// Data-parallel replacement for the serial per-sample loop of one
+  /// accumulation batch: shards [batch_begin, batch_end) of `order` over
+  /// `threads` workers, backpropagating into per-thread gradient buffers,
+  /// then reduces buffers into the shared parameter grads in
+  /// (parameter-order, shard-index) order.
+  void RunBatchParallel(const synth::Dataset& train,
+                        const std::vector<int>& order, int batch_begin,
+                        int batch_end, int epoch, int threads,
+                        double* epoch_loss, LossBreakdown* mean);
+
+  /// The pool backing Fit/Evaluate when threads > 1 (lazily built).
+  ThreadPool* Pool(int threads) const;
+
   M2g4Rtp* model_;
   TrainConfig config_;
   std::vector<Matrix> best_params_;
+  mutable std::unique_ptr<ThreadPool> pool_;
 };
 
 }  // namespace m2g::core

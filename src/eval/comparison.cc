@@ -7,6 +7,7 @@
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 
 namespace m2g::eval {
 namespace {
@@ -96,22 +97,48 @@ const MethodResult* ComparisonResult::Find(const std::string& method) const {
 ComparisonResult RunComparison(const synth::DatasetSplits& splits,
                                const std::vector<std::string>& methods,
                                const EvalScale& scale) {
-  ComparisonResult result;
-  for (const std::string& name : methods) {
-    const int seeds =
-        IsDeterministicHeuristic(name) ? 1 : std::max(1, scale.num_seeds);
-    std::vector<MethodResult> runs;
-    double total_fit = 0;
+  // Flatten the (method x seed) grid into independent cells so the whole
+  // comparison can run data-parallel. Every cell is fully determined by
+  // its (method, seed) pair and lands at a fixed position, so the result
+  // is identical for any thread count.
+  struct Cell {
+    int method = 0;
+    int seed = 0;
+  };
+  std::vector<std::vector<MethodResult>> runs(methods.size());
+  std::vector<Cell> cells;
+  for (size_t m = 0; m < methods.size(); ++m) {
+    const int seeds = IsDeterministicHeuristic(methods[m])
+                          ? 1
+                          : std::max(1, scale.num_seeds);
+    runs[m].resize(seeds);
     for (int s = 0; s < seeds; ++s) {
-      EvalScale run_scale = scale;
-      run_scale.seed = scale.seed + 1000 * static_cast<uint64_t>(s);
-      M2G_LOG(Info) << "training + evaluating " << name << " (seed "
-                    << s + 1 << "/" << seeds << ") ...";
-      runs.push_back(RunOnce(splits, name, run_scale));
-      total_fit += runs.back().fit_seconds;
+      cells.push_back({static_cast<int>(m), s});
     }
-    MethodResult mr = runs.front();
-    Aggregate(runs, &mr);
+  }
+  const auto run_cell = [&](const Cell& cell) {
+    const std::string& name = methods[cell.method];
+    EvalScale run_scale = scale;
+    run_scale.seed = scale.seed + 1000 * static_cast<uint64_t>(cell.seed);
+    M2G_LOG(Info) << "training + evaluating " << name << " (seed "
+                  << cell.seed + 1 << "/" << runs[cell.method].size()
+                  << ") ...";
+    runs[cell.method][cell.seed] = RunOnce(splits, name, run_scale);
+  };
+  const int threads = ResolveThreads(scale.threads);
+  if (threads == 1) {
+    for (const Cell& cell : cells) run_cell(cell);
+  } else {
+    ThreadPool pool(threads);
+    pool.ParallelFor(static_cast<int64_t>(cells.size()),
+                     [&](int64_t i) { run_cell(cells[i]); });
+  }
+  ComparisonResult result;
+  for (size_t m = 0; m < methods.size(); ++m) {
+    double total_fit = 0;
+    for (const MethodResult& run : runs[m]) total_fit += run.fit_seconds;
+    MethodResult mr = runs[m].front();
+    Aggregate(runs[m], &mr);
     mr.fit_seconds = total_fit;
     result.methods.push_back(std::move(mr));
   }

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <optional>
 
 #include "common/stopwatch.h"
+#include "tensor/grad_mode.h"
 
 namespace m2g::eval {
 
@@ -23,12 +25,15 @@ std::string ComplexityFormula(const std::string& method) {
 }
 
 LatencyResult MeasureLatency(const RtpModel& model,
-                             const std::vector<synth::Sample>& samples) {
+                             const std::vector<synth::Sample>& samples,
+                             bool no_grad) {
   LatencyResult result;
-  result.method = model.name();
+  result.method = no_grad ? model.name() + " (no-grad)" : model.name();
   result.complexity = ComplexityFormula(model.name());
   if (samples.empty()) return result;
 
+  std::optional<NoGradGuard> guard;
+  if (no_grad) guard.emplace();
   std::vector<double> times;
   times.reserve(samples.size());
   double total = 0;
@@ -47,6 +52,12 @@ LatencyResult MeasureLatency(const RtpModel& model,
   result.p99_ms = times[std::min(times.size() - 1,
                                  times.size() * 99 / 100)];
   return result;
+}
+
+std::vector<LatencyResult> MeasureGradModeComparison(
+    const RtpModel& model, const std::vector<synth::Sample>& samples) {
+  return {MeasureLatency(model, samples, /*no_grad=*/false),
+          MeasureLatency(model, samples, /*no_grad=*/true)};
 }
 
 void PrintScalabilityTable(const std::vector<LatencyResult>& rows) {

@@ -20,9 +20,17 @@ struct LatencyResult {
 std::string ComplexityFormula(const std::string& method);
 
 /// Measures per-sample Predict latency of an already-fitted model over
-/// `samples` (each sample timed individually).
+/// `samples` (each sample timed individually). When `no_grad` is true the
+/// passes run under NoGradGuard (no autograd graph is built) and the
+/// method name gets a " (no-grad)" suffix.
 LatencyResult MeasureLatency(const RtpModel& model,
-                             const std::vector<synth::Sample>& samples);
+                             const std::vector<synth::Sample>& samples,
+                             bool no_grad = false);
+
+/// Two Table V rows for the same model: grad-mode inference (graph built
+/// and discarded, the pre-refactor behavior) vs no-grad inference.
+std::vector<LatencyResult> MeasureGradModeComparison(
+    const RtpModel& model, const std::vector<synth::Sample>& samples);
 
 void PrintScalabilityTable(const std::vector<LatencyResult>& rows);
 

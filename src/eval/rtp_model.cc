@@ -108,6 +108,7 @@ class M2g4RtpModel : public RtpModel {
     core::TrainConfig tc;
     tc.epochs = scale_.epochs;
     tc.max_samples_per_epoch = scale_.max_samples_per_epoch;
+    tc.threads = scale_.threads;
     core::Trainer trainer(model_.get(), tc);
     trainer.Fit(train, val);
   }

@@ -33,6 +33,12 @@ struct EvalScale {
   /// reported as mean +/- std, like the paper's tables. Deterministic
   /// heuristics run once.
   int num_seeds = 3;
+  /// Worker threads: parallelizes the (method x seed) comparison grid and
+  /// is forwarded to each learned model's trainer. 1 (default) is the
+  /// serial legacy path; 0 resolves to DefaultThreads(). Results are
+  /// identical for any value — every run is independently seeded and lands
+  /// at a fixed grid position.
+  int threads = 1;
 };
 
 /// Method names in the paper's table order.

@@ -8,6 +8,9 @@ namespace m2g::serve {
 /// §VI-C "Minute-level ETA Service": user-facing arrival estimates,
 /// replacing the old 2-hour window, plus the pre-arrival push that lets
 /// customers get ready (package pick-up is face-to-face).
+///
+/// Thread-safe: estimates go through RtpService::Handle (no-grad,
+/// concurrent) and the service itself holds no mutable state.
 class EtaService {
  public:
   struct Config {

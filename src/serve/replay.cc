@@ -1,5 +1,8 @@
 #include "serve/replay.h"
 
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+
 namespace m2g::serve {
 
 RtpRequest RequestFromSample(const synth::Sample& sample) {
@@ -44,6 +47,24 @@ std::vector<RtpRequest> ReplayTrip(const synth::TripRecord& trip,
     requests.push_back(std::move(req));
   }
   return requests;
+}
+
+ConcurrentReplayResult ReplayConcurrently(
+    const RtpService& service, const std::vector<RtpRequest>& requests,
+    int threads) {
+  ConcurrentReplayResult result;
+  result.responses.resize(requests.size());
+  ThreadPool pool(ResolveThreads(threads));
+  Stopwatch watch;
+  pool.ParallelFor(static_cast<int64_t>(requests.size()), [&](int64_t i) {
+    result.responses[i] = service.Handle(requests[i]);
+  });
+  result.wall_seconds = watch.ElapsedSeconds();
+  result.requests_per_second =
+      result.wall_seconds > 0
+          ? static_cast<double>(requests.size()) / result.wall_seconds
+          : 0;
+  return result;
 }
 
 int NodeIndexOfOrder(const synth::Sample& sample, int order_id) {

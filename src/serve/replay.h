@@ -2,6 +2,7 @@
 #define M2G_SERVE_REPLAY_H_
 
 #include "serve/feature_extractor.h"
+#include "serve/rtp_service.h"
 
 namespace m2g::serve {
 
@@ -21,6 +22,22 @@ std::vector<RtpRequest> ReplayTrip(const synth::TripRecord& trip,
 
 /// Maps an order id to its node index in `sample` (-1 if absent).
 int NodeIndexOfOrder(const synth::Sample& sample, int order_id);
+
+/// Result of a multi-threaded replay run: responses are indexed exactly
+/// like the input requests regardless of which worker served them.
+struct ConcurrentReplayResult {
+  std::vector<RtpService::Response> responses;
+  double wall_seconds = 0;
+  double requests_per_second = 0;
+};
+
+/// Serves every request through `service` from `threads` concurrent
+/// workers (0 = DefaultThreads(); 1 degenerates to a serial replay).
+/// Responses land at their request's index, so the output is
+/// deterministic and directly comparable to a serial replay.
+ConcurrentReplayResult ReplayConcurrently(
+    const RtpService& service, const std::vector<RtpRequest>& requests,
+    int threads);
 
 }  // namespace m2g::serve
 

@@ -1,12 +1,16 @@
 #include "serve/rtp_service.h"
 
+#include "tensor/grad_mode.h"
+
 namespace m2g::serve {
 
 RtpService::Response RtpService::Handle(const RtpRequest& request) const {
+  // Serving never backpropagates: skip all graph construction.
+  NoGradGuard no_grad;
   Response response;
   response.sample = extractor_.BuildSample(request);
   response.prediction = model_->Predict(response.sample);
-  ++requests_served_;
+  requests_served_.fetch_add(1, std::memory_order_relaxed);
   return response;
 }
 

@@ -1,6 +1,7 @@
 #ifndef M2G_SERVE_RTP_SERVICE_H_
 #define M2G_SERVE_RTP_SERVICE_H_
 
+#include <atomic>
 #include <memory>
 
 #include "core/model.h"
@@ -12,6 +13,10 @@ namespace m2g::serve {
 /// Figure 7 "M2G4RTP Service": the online inference layer. Owns the
 /// pre-trained model and answers RTP requests end-to-end (features ->
 /// multi-level graph -> joint route & time prediction).
+///
+/// Handle() is safe to call from many threads at once: it runs under
+/// NoGradGuard (no shared autograd state is touched) and the only mutable
+/// service state is the atomic request counter.
 class RtpService {
  public:
   /// `model` must outlive the service; it is typically loaded from a
@@ -29,12 +34,14 @@ class RtpService {
   Response Handle(const RtpRequest& request) const;
 
   /// Number of requests served (monitoring counter).
-  int64_t requests_served() const { return requests_served_; }
+  int64_t requests_served() const {
+    return requests_served_.load(std::memory_order_relaxed);
+  }
 
  private:
   FeatureExtractor extractor_;
   const core::M2g4Rtp* model_;
-  mutable int64_t requests_served_ = 0;
+  mutable std::atomic<int64_t> requests_served_{0};
 };
 
 }  // namespace m2g::serve

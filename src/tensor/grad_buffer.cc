@@ -1,0 +1,35 @@
+#include "tensor/grad_buffer.h"
+
+namespace m2g::internal {
+namespace {
+
+thread_local GradBuffer* t_active_buffer = nullptr;
+
+}  // namespace
+
+Matrix& GradBuffer::GradFor(TensorNode* leaf) {
+  auto it = grads_.find(leaf);
+  if (it == grads_.end()) {
+    it = grads_
+             .emplace(leaf,
+                      Matrix(leaf->value.rows(), leaf->value.cols()))
+             .first;
+  }
+  return it->second;
+}
+
+const Matrix* GradBuffer::Find(const TensorNode* leaf) const {
+  auto it = grads_.find(leaf);
+  return it == grads_.end() ? nullptr : &it->second;
+}
+
+GradBufferScope::GradBufferScope(GradBuffer* buffer)
+    : prev_(t_active_buffer) {
+  t_active_buffer = buffer;
+}
+
+GradBufferScope::~GradBufferScope() { t_active_buffer = prev_; }
+
+GradBuffer* ActiveGradBuffer() { return t_active_buffer; }
+
+}  // namespace m2g::internal

@@ -1,0 +1,57 @@
+#ifndef M2G_TENSOR_GRAD_BUFFER_H_
+#define M2G_TENSOR_GRAD_BUFFER_H_
+
+#include <unordered_map>
+
+#include "tensor/tensor.h"
+
+namespace m2g::internal {
+
+/// Per-thread gradient accumulation buffer for *parameter leaves*.
+///
+/// In data-parallel training each worker builds its own per-sample graph;
+/// intermediate nodes are thread-private, but the parameter leaves are
+/// shared across every worker's graph. While a GradBufferScope is active
+/// on a thread, TensorNode::EnsureGrad() redirects leaf-gradient
+/// accumulation into this buffer instead of the shared `grad` field, so
+/// concurrent Backward() calls never write to the same matrix. The
+/// trainer reduces the buffers into the shared parameter grads on the
+/// main thread in deterministic (parameter-order, then shard-index)
+/// order before each optimizer step.
+class GradBuffer {
+ public:
+  /// Accumulation target for `leaf`, zero-allocated to `leaf`'s value
+  /// shape on first use.
+  Matrix& GradFor(TensorNode* leaf);
+
+  /// The accumulated gradient for `leaf`, or nullptr if no gradient ever
+  /// reached it on this buffer's thread.
+  const Matrix* Find(const TensorNode* leaf) const;
+
+  void Clear() { grads_.clear(); }
+  bool empty() const { return grads_.empty(); }
+
+ private:
+  std::unordered_map<const TensorNode*, Matrix> grads_;
+};
+
+/// Installs `buffer` as the current thread's leaf-gradient redirect for
+/// the guard's scope (restores the previous redirect on destruction).
+class GradBufferScope {
+ public:
+  explicit GradBufferScope(GradBuffer* buffer);
+  ~GradBufferScope();
+
+  GradBufferScope(const GradBufferScope&) = delete;
+  GradBufferScope& operator=(const GradBufferScope&) = delete;
+
+ private:
+  GradBuffer* prev_;
+};
+
+/// The current thread's redirect target (nullptr outside any scope).
+GradBuffer* ActiveGradBuffer();
+
+}  // namespace m2g::internal
+
+#endif  // M2G_TENSOR_GRAD_BUFFER_H_

@@ -1,0 +1,14 @@
+#include "tensor/grad_mode.h"
+
+namespace m2g {
+namespace {
+
+thread_local bool t_grad_enabled = true;
+
+}  // namespace
+
+bool GradMode::enabled() { return t_grad_enabled; }
+
+void GradMode::set_enabled(bool enabled) { t_grad_enabled = enabled; }
+
+}  // namespace m2g

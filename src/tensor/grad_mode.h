@@ -1,0 +1,34 @@
+#ifndef M2G_TENSOR_GRAD_MODE_H_
+#define M2G_TENSOR_GRAD_MODE_H_
+
+namespace m2g {
+
+/// Thread-local autograd switch. While disabled, every op in tensor/ops.h
+/// computes its forward value exactly as before (bitwise-identical output)
+/// but skips parent wiring, requires_grad propagation and the backward
+/// closure — pure inference pays no autograd cost. The flag is
+/// thread-local so a serving thread running under NoGradGuard never
+/// affects a training thread building a graph concurrently.
+class GradMode {
+ public:
+  static bool enabled();
+  static void set_enabled(bool enabled);
+};
+
+/// RAII guard disabling gradient construction on the current thread for
+/// its scope (restores the previous mode on destruction; guards nest).
+class NoGradGuard {
+ public:
+  NoGradGuard() : prev_(GradMode::enabled()) { GradMode::set_enabled(false); }
+  ~NoGradGuard() { GradMode::set_enabled(prev_); }
+
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+
+ private:
+  bool prev_;
+};
+
+}  // namespace m2g
+
+#endif  // M2G_TENSOR_GRAD_MODE_H_

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "tensor/grad_mode.h"
+
 namespace m2g {
 namespace {
 
@@ -12,8 +14,12 @@ using internal::TensorNode;
 using NodePtr = std::shared_ptr<TensorNode>;
 
 /// Finalizes an op node: wires parents, requires_grad, backward closure.
+/// Under NoGradGuard (GradMode disabled on this thread) the wiring is
+/// skipped entirely — the op returns a plain constant holding the already
+/// computed forward value, so inference is pure matrix math.
 Tensor MakeOp(NodePtr out, std::vector<NodePtr> parents,
               std::function<void(TensorNode*)> backward) {
+  if (!GradMode::enabled()) return Tensor::FromNode(std::move(out));
   bool any = false;
   for (const auto& p : parents) any = any || p->requires_grad;
   out->parents = std::move(parents);

@@ -4,6 +4,8 @@
 #include <atomic>
 #include <unordered_set>
 
+#include "tensor/grad_buffer.h"
+
 namespace m2g {
 
 namespace internal {
@@ -16,6 +18,14 @@ std::shared_ptr<TensorNode> NewNode(Matrix value) {
   node->value = std::move(value);
   node->id = g_next_node_id.fetch_add(1, std::memory_order_relaxed);
   return node;
+}
+
+Matrix& TensorNode::EnsureGrad() {
+  if (IsParameterLeaf()) {
+    if (GradBuffer* buffer = ActiveGradBuffer()) return buffer->GradFor(this);
+  }
+  if (!grad.SameShape(value)) grad = Matrix(value.rows(), value.cols());
+  return grad;
 }
 
 }  // namespace internal
@@ -43,7 +53,8 @@ Tensor Tensor::FromNode(std::shared_ptr<internal::TensorNode> node) {
 }
 
 float Tensor::item() const {
-  M2G_CHECK(defined());
+  M2G_CHECK_MSG(defined(),
+                "item() called on a null (default-constructed) Tensor");
   M2G_CHECK_EQ(node_->value.size(), 1);
   return node_->value[0];
 }

@@ -25,10 +25,15 @@ struct TensorNode {
   /// Monotonic creation id, used for a deterministic topological order.
   uint64_t id = 0;
 
-  Matrix& EnsureGrad() {
-    if (!grad.SameShape(value)) grad = Matrix(value.rows(), value.cols());
-    return grad;
-  }
+  /// A trainable leaf shared across concurrently built graphs (as opposed
+  /// to a thread-private op output).
+  bool IsParameterLeaf() const { return requires_grad && parents.empty(); }
+
+  /// Gradient accumulation target for this node. Normally the lazily
+  /// allocated `grad` field; for parameter leaves on a thread with an
+  /// active GradBufferScope (data-parallel training), a per-thread buffer
+  /// instead, so concurrent Backward() calls never race on shared leaves.
+  Matrix& EnsureGrad();
 };
 
 }  // namespace internal
@@ -48,12 +53,30 @@ class Tensor {
   static Tensor Scalar(float value);
 
   bool defined() const { return node_ != nullptr; }
-  int rows() const { return node_->value.rows(); }
-  int cols() const { return node_->value.cols(); }
-  const Matrix& value() const { return node_->value; }
-  Matrix& mutable_value() { return node_->value; }
-  const Matrix& grad() const { return node_->grad; }
-  bool requires_grad() const { return node_->requires_grad; }
+  int rows() const {
+    CheckDefined();
+    return node_->value.rows();
+  }
+  int cols() const {
+    CheckDefined();
+    return node_->value.cols();
+  }
+  const Matrix& value() const {
+    CheckDefined();
+    return node_->value;
+  }
+  Matrix& mutable_value() {
+    CheckDefined();
+    return node_->value;
+  }
+  const Matrix& grad() const {
+    CheckDefined();
+    return node_->grad;
+  }
+  bool requires_grad() const {
+    CheckDefined();
+    return node_->requires_grad;
+  }
   /// Scalar read; requires shape (1,1).
   float item() const;
 
@@ -69,6 +92,11 @@ class Tensor {
   static Tensor FromNode(std::shared_ptr<internal::TensorNode> node);
 
  private:
+  void CheckDefined() const {
+    M2G_CHECK_MSG(node_ != nullptr,
+                  "accessor called on a null (default-constructed) Tensor");
+  }
+
   std::shared_ptr<internal::TensorNode> node_;
 };
 

@@ -18,6 +18,17 @@ TEST(DeathTest, MatrixAtOutOfRangeAborts) {
   EXPECT_DEATH(m.At(0, -1), "CHECK failed");
 }
 
+TEST(DeathTest, NullTensorAccessorsAbort) {
+  Tensor t;  // default-constructed: no node
+  EXPECT_DEATH(t.rows(), "null");
+  EXPECT_DEATH(t.cols(), "null");
+  EXPECT_DEATH(t.value(), "null");
+  EXPECT_DEATH(t.mutable_value(), "null");
+  EXPECT_DEATH(t.grad(), "null");
+  EXPECT_DEATH(t.requires_grad(), "null");
+  EXPECT_DEATH(t.item(), "null");
+}
+
 TEST(DeathTest, MatMulShapeMismatchAborts) {
   Matrix a(2, 3), b(2, 3);
   EXPECT_DEATH(MatMulRaw(a, b), "CHECK failed");
