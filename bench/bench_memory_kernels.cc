@@ -1,0 +1,254 @@
+// Memory & kernel layer bench (Table V companion row): heap allocations
+// and nanoseconds per op for the transpose-free fused kernels vs the
+// unfused compositions they replaced, plus the end-to-end serving
+// numbers — allocations per request and QPS with the tensor pool on vs
+// off.
+//
+// `--smoke` runs a reduced configuration suitable for CI and exits
+// nonzero if the steady-state hot path is not actually malloc-free
+// (any pool miss after warmup) or if pooling saves fewer than 5x the
+// per-request tensor heap allocations.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "core/model.h"
+#include "serve/replay.h"
+#include "serve/rtp_service.h"
+#include "synth/dataset.h"
+#include "tensor/matrix.h"
+#include "tensor/ops.h"
+#include "tensor/pool.h"
+#include "tensor/tensor.h"
+
+namespace {
+
+using m2g::ArenaGuard;
+using m2g::Matrix;
+using m2g::Tensor;
+using m2g::TensorPool;
+
+volatile float g_sink = 0.0f;  // defeats dead-code elimination
+
+void Sink(float v) { g_sink = g_sink + v; }
+
+struct OpResult {
+  double ns_per_op = 0;
+  double bufs_per_op = 0;
+};
+
+/// Tensor buffers acquired so far on this thread, warm or cold (inside
+/// an arena every Matrix takes exactly one of these; a warm pool turns
+/// them into free-list pops instead of mallocs but each is still a
+/// zero-fill plus bookkeeping).
+uint64_t BufferAcquisitions() {
+  const TensorPool::Stats s = TensorPool::ThreadStats();
+  return s.pool_hits + s.pool_misses + s.unpooled_allocs;
+}
+
+/// Times `fn` over `iters` runs inside a warm arena and reports tensor
+/// buffers per run.
+template <typename Fn>
+OpResult MeasureOp(int iters, Fn&& fn) {
+  ArenaGuard arena;
+  for (int i = 0; i < 8; ++i) fn();  // warm the free lists
+  const uint64_t bufs0 = BufferAcquisitions();
+  m2g::Stopwatch watch;
+  for (int i = 0; i < iters; ++i) fn();
+  OpResult r;
+  r.ns_per_op = watch.ElapsedSeconds() * 1e9 / iters;
+  r.bufs_per_op =
+      static_cast<double>(BufferAcquisitions() - bufs0) / iters;
+  return r;
+}
+
+void PrintRow(const char* name, const OpResult& fused,
+              const OpResult& unfused) {
+  std::printf("  %-22s %9.0f %11.0f %8.2fx %10.1f %12.1f\n", name,
+              fused.ns_per_op, unfused.ns_per_op,
+              unfused.ns_per_op / fused.ns_per_op, fused.bufs_per_op,
+              unfused.bufs_per_op);
+}
+
+/// Typical decoder-step shapes: n graph nodes, d hidden units.
+void BenchKernels(int iters) {
+  const int n = 20, k = 64, m = 64;
+  m2g::Rng rng(1);
+  const Matrix a = Matrix::Random(k, n, -1, 1, &rng);
+  const Matrix b = Matrix::Random(k, m, -1, 1, &rng);
+  const Matrix x = Matrix::Random(n, k, -1, 1, &rng);
+  const Matrix w = Matrix::Random(k, m, -1, 1, &rng);
+  const Matrix bt = Matrix::Random(m, k, -1, 1, &rng);
+  const Matrix bias = Matrix::Random(1, m, -1, 1, &rng);
+
+  std::printf("\nkernels (n=%d, k=%d, m=%d)\n", n, k, m);
+  std::printf("  %-22s %9s %11s %8s %10s %12s\n", "", "fused ns",
+              "unfused ns", "speedup", "fused b/op", "unfused b/op");
+
+  PrintRow("MatMulATB",
+           MeasureOp(iters, [&] { Sink(MatMulATB(a, b).At(0, 0)); }),
+           MeasureOp(iters, [&] {
+             Sink(MatMulRaw(TransposeRaw(a), b).At(0, 0));
+           }));
+  PrintRow("MatMulABT",
+           MeasureOp(iters, [&] { Sink(MatMulABT(x, bt).At(0, 0)); }),
+           MeasureOp(iters, [&] {
+             Sink(MatMulRaw(x, TransposeRaw(bt)).At(0, 0));
+           }));
+  PrintRow("AffineRaw",
+           MeasureOp(iters,
+                     [&] {
+                       Sink(AffineRaw(x, w, &bias, m2g::Activation::kRelu)
+                                .At(0, 0));
+                     }),
+           MeasureOp(iters, [&] {
+             Matrix out = MatMulRaw(x, w);
+             for (int r = 0; r < out.rows(); ++r) {
+               for (int c = 0; c < out.cols(); ++c) {
+                 float v = out.At(r, c) + bias.At(0, c);
+                 out.At(r, c) = v > 0 ? v : 0.0f;
+               }
+             }
+             Sink(out.At(0, 0));
+           }));
+
+  // Autograd level: one fused node vs the three-node chain, forward +
+  // backward (this is the per-layer cost inside training).
+  Tensor xp = Tensor::Parameter(x);
+  Tensor wp = Tensor::Parameter(w);
+  Tensor bp = Tensor::Parameter(bias);
+  PrintRow("Affine fwd+bwd",
+           MeasureOp(iters,
+                     [&] {
+                       Tensor y =
+                           Affine(xp, wp, bp, m2g::Activation::kRelu);
+                       Sum(y).Backward();
+                       Sink(y.value().At(0, 0));
+                     }),
+           MeasureOp(iters, [&] {
+             Tensor y = Relu(AddRowBroadcast(MatMul(xp, wp), bp));
+             Sum(y).Backward();
+             Sink(y.value().At(0, 0));
+           }));
+}
+
+struct ServeResult {
+  double allocs_per_req = 0;
+  double qps = 0;
+  uint64_t misses = 0;
+};
+
+ServeResult ServeLoop(const m2g::serve::RtpService& service,
+                      const std::vector<m2g::serve::RtpRequest>& requests,
+                      int passes) {
+  // Warmup: one full pass over the request mix populates every size
+  // class the measured pass will touch.
+  for (const auto& req : requests) {
+    Sink(static_cast<float>(
+        service.Handle(req).prediction.location_times_min[0]));
+  }
+  TensorPool::ResetThreadStats();
+  m2g::Stopwatch watch;
+  int served = 0;
+  for (int p = 0; p < passes; ++p) {
+    for (const auto& req : requests) {
+      Sink(static_cast<float>(
+          service.Handle(req).prediction.location_route[0]));
+      ++served;
+    }
+  }
+  const double seconds = watch.ElapsedSeconds();
+  const TensorPool::Stats stats = TensorPool::ThreadStats();
+  ServeResult r;
+  r.allocs_per_req = static_cast<double>(stats.heap_allocs) / served;
+  r.qps = served / seconds;
+  r.misses = stats.pool_misses;
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  const int kernel_iters = smoke ? 200 : 5000;
+  const int serve_passes = smoke ? 2 : 10;
+
+  std::printf("=== Memory & kernel layer (pool + fused ops) ===\n");
+  BenchKernels(kernel_iters);
+
+  // End-to-end serving: the Figure 7 pipeline on an untrained model
+  // (weights do not change the allocation profile).
+  m2g::synth::DataConfig dc;
+  dc.num_days = smoke ? 4 : 8;
+  m2g::synth::BuiltWorld built = m2g::synth::BuildWorldAndDataset(dc);
+  m2g::core::ModelConfig mc;
+  m2g::core::M2g4Rtp model(mc);
+  m2g::serve::RtpService service(&built.world, &model);
+
+  std::vector<m2g::serve::RtpRequest> requests;
+  const auto& samples = built.splits.test.samples;
+  const size_t max_requests = smoke ? 16 : 64;
+  for (size_t i = 0; i < samples.size() && i < max_requests; ++i) {
+    requests.push_back(m2g::serve::RequestFromSample(samples[i]));
+  }
+  if (requests.empty()) {
+    std::fprintf(stderr, "no test requests generated\n");
+    return 1;
+  }
+
+  TensorPool::set_enabled(true);
+  ServeResult pooled = ServeLoop(service, requests, serve_passes);
+  TensorPool::set_enabled(false);
+  ServeResult plain = ServeLoop(service, requests, serve_passes);
+  TensorPool::set_enabled(true);
+  const auto counters = m2g::serve::RtpService::pool_counters();
+
+  const double ratio =
+      plain.allocs_per_req / (pooled.allocs_per_req > 0
+                                  ? pooled.allocs_per_req
+                                  : 1.0 / requests.size());
+  std::printf("\nserving (%zu distinct requests, %d passes)\n",
+              requests.size(), serve_passes);
+  std::printf("  %-10s %14s %10s %14s\n", "storage", "allocs/req", "QPS",
+              "steady misses");
+  std::printf("  %-10s %14.1f %10.0f %14llu\n", "pooled",
+              pooled.allocs_per_req, pooled.qps,
+              static_cast<unsigned long long>(pooled.misses));
+  std::printf("  %-10s %14.1f %10.0f %14s\n", "plain",
+              plain.allocs_per_req, plain.qps, "-");
+  std::printf("\nTable V row: | pool+fused | %.1f allocs/req (%.0fx fewer) "
+              "| %.0f QPS (%+.1f%%) | %llu lifetime pool misses |\n",
+              pooled.allocs_per_req, ratio, pooled.qps,
+              100.0 * (pooled.qps - plain.qps) / plain.qps,
+              static_cast<unsigned long long>(counters.misses));
+
+  if (smoke) {
+    int failures = 0;
+    if (pooled.misses != 0) {
+      std::fprintf(stderr,
+                   "FAIL: %llu steady-state pool misses (want 0)\n",
+                   static_cast<unsigned long long>(pooled.misses));
+      ++failures;
+    }
+    if (ratio < 5.0) {
+      std::fprintf(stderr,
+                   "FAIL: pooling saves only %.1fx tensor heap "
+                   "allocations per request (want >= 5x)\n",
+                   ratio);
+      ++failures;
+    }
+    if (failures == 0) {
+      std::printf("smoke OK: zero steady-state misses, %.0fx fewer "
+                  "allocs/req\n",
+                  ratio);
+    }
+    return failures == 0 ? 0 : 1;
+  }
+  return 0;
+}

@@ -32,4 +32,21 @@
 #define M2G_CHECK_GT(a, b) M2G_CHECK((a) > (b))
 #define M2G_CHECK_GE(a, b) M2G_CHECK((a) >= (b))
 
+/// Debug-only CHECKs for per-element hot paths (e.g. Matrix::At bounds).
+/// They abort like M2G_CHECK in debug builds and compile to nothing under
+/// -DNDEBUG, so Release kernels pay zero cost per access. The condition
+/// is never evaluated in Release (it must be side-effect free).
+#ifdef NDEBUG
+#define M2G_DCHECK(cond) \
+  do {                   \
+  } while (false && (cond))
+#else
+#define M2G_DCHECK(cond) M2G_CHECK(cond)
+#endif
+
+#define M2G_DCHECK_EQ(a, b) M2G_DCHECK((a) == (b))
+#define M2G_DCHECK_LT(a, b) M2G_DCHECK((a) < (b))
+#define M2G_DCHECK_LE(a, b) M2G_DCHECK((a) <= (b))
+#define M2G_DCHECK_GE(a, b) M2G_DCHECK((a) >= (b))
+
 #endif  // M2G_COMMON_CHECK_H_

@@ -7,6 +7,7 @@
 #include "common/logging.h"
 #include "tensor/grad_buffer.h"
 #include "tensor/grad_mode.h"
+#include "tensor/pool.h"
 
 namespace m2g::core {
 namespace {
@@ -78,6 +79,9 @@ float Trainer::Evaluate(const synth::Dataset& dataset) const {
   if (threads == 1) {
     double total = 0;
     for (const synth::Sample& s : dataset.samples) {
+      // Per-sample arena: the forward graph's buffers recycle across
+      // samples instead of churning the heap.
+      ArenaGuard arena;
       total += model_->ComputeLoss(s).item();
     }
     return static_cast<float>(total / dataset.samples.size());
@@ -89,6 +93,7 @@ float Trainer::Evaluate(const synth::Dataset& dataset) const {
         NoGradGuard worker_no_grad;  // grad mode is thread-local
         double total = 0;
         for (int64_t i = begin; i < end; ++i) {
+          ArenaGuard arena;  // pool is thread-local, scope is per-sample
           Rng grng(MixSeed(config_.shuffle_seed, kEvalSalt,
                            static_cast<uint64_t>(i)));
           total += model_->ComputeLoss(dataset.samples[i], nullptr, &grng)
@@ -113,6 +118,11 @@ void Trainer::RunBatchParallel(const synth::Dataset& train,
         ShardAccum& acc = accums[shard];
         internal::GradBufferScope scope(&acc.grads);
         for (int64_t k = begin; k < end; ++k) {
+          // Per-sample-graph arena: forward values, node grads and the
+          // backward's kernel scratch all recycle within the shard. The
+          // leaf grads escape into `acc` — safe, Matrix storage is
+          // deeply owned.
+          ArenaGuard arena;
           const int idx = order[batch_begin + k];
           // Per-sample guidance stream: race-free across workers and
           // identical for every thread count.
@@ -188,6 +198,7 @@ std::vector<EpochStats> Trainer::Fit(const synth::Dataset& train,
         // The exact pre-refactor serial path: per-sample graphs
         // accumulating straight into the shared parameter grads.
         for (int idx = batch_begin; idx < batch_end; ++idx) {
+          ArenaGuard arena;  // per-sample graph buffers recycle
           LossBreakdown bd;
           Tensor loss = model_->ComputeLoss(train.samples[order[idx]], &bd);
           // Scale so a batch of accumulated gradients averages the

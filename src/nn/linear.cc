@@ -15,9 +15,11 @@ Linear::Linear(int in_features, int out_features, Rng* rng, bool bias)
 }
 
 Tensor Linear::Forward(const Tensor& x) const {
-  Tensor y = MatMul(x, weight_);
-  if (bias_.defined()) y = AddRowBroadcast(y, bias_);
-  return y;
+  return Affine(x, weight_, bias_);
+}
+
+Tensor Linear::Forward(const Tensor& x, Activation act) const {
+  return Affine(x, weight_, bias_, act);
 }
 
 }  // namespace m2g::nn

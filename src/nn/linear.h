@@ -7,12 +7,17 @@
 namespace m2g::nn {
 
 /// Affine map y = x W + b with x of shape (n, in), y of shape (n, out).
+/// Forward runs through the fused Affine op: one graph node, no
+/// transpose copies in the backward.
 class Linear : public Module {
  public:
   /// `bias` can be disabled for pure projections (e.g. attention scores).
   Linear(int in_features, int out_features, Rng* rng, bool bias = true);
 
   Tensor Forward(const Tensor& x) const;
+  /// Fused activation variant (y = act(x W + b)) — saves the standalone
+  /// activation node; bitwise-identical to applying it separately.
+  Tensor Forward(const Tensor& x, Activation act) const;
 
   int in_features() const { return in_features_; }
   int out_features() const { return out_features_; }

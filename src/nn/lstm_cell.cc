@@ -19,8 +19,9 @@ LstmCell::LstmCell(int input_size, int hidden_size, Rng* rng)
 
 LstmState LstmCell::Forward(const Tensor& x, const LstmState& state) const {
   M2G_CHECK_EQ(x.cols(), input_size_);
-  Tensor gates = AddRowBroadcast(
-      Add(MatMul(x, w_ih_), MatMul(state.h, w_hh_)), bias_);
+  // Fused gate pre-activation: one node instead of the
+  // MatMul/MatMul/Add/AddRowBroadcast chain, bitwise-identical.
+  Tensor gates = DualAffine(x, w_ih_, state.h, w_hh_, bias_);
   const int h = hidden_size_;
   Tensor i = Sigmoid(SliceCols(gates, 0, h));
   Tensor f = Sigmoid(SliceCols(gates, h, h));

@@ -16,8 +16,9 @@ Mlp::Mlp(const std::vector<int>& dims, Rng* rng) {
 Tensor Mlp::Forward(const Tensor& x) const {
   Tensor h = x;
   for (size_t i = 0; i < layers_.size(); ++i) {
-    h = layers_[i]->Forward(h);
-    if (i + 1 < layers_.size()) h = Relu(h);
+    // Hidden layers fuse the ReLU into the affine node.
+    h = layers_[i]->Forward(h, i + 1 < layers_.size() ? Activation::kRelu
+                                                      : Activation::kNone);
   }
   return h;
 }

@@ -13,7 +13,9 @@ float Optimizer::ClipGradNorm(float max_norm) {
   for (const Tensor& p : params_) {
     const Matrix& g = p.grad();
     if (!g.SameShape(p.value())) continue;  // never touched
-    for (int i = 0; i < g.size(); ++i) sq += static_cast<double>(g[i]) * g[i];
+    for (size_t i = 0; i < g.size(); ++i) {
+      sq += static_cast<double>(g[i]) * g[i];
+    }
   }
   const float norm = static_cast<float>(std::sqrt(sq));
   if (norm > max_norm && norm > 0.0f) {
@@ -82,7 +84,7 @@ void Adam::Step() {
     Matrix& w = p.node()->value;
     Matrix& m = m_[i];
     Matrix& v = v_[i];
-    for (int j = 0; j < w.size(); ++j) {
+    for (size_t j = 0; j < w.size(); ++j) {
       m[j] = beta1_ * m[j] + (1.0f - beta1_) * g[j];
       v[j] = beta2_ * v[j] + (1.0f - beta2_) * g[j] * g[j];
       const float m_hat = m[j] / bc1;

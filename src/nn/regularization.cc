@@ -6,7 +6,7 @@ Tensor Dropout::Apply(const Tensor& x) {
   if (rate_ == 0.0f) return x;
   Matrix mask(x.rows(), x.cols());
   const float keep_scale = 1.0f / (1.0f - rate_);
-  for (int i = 0; i < mask.size(); ++i) {
+  for (size_t i = 0; i < mask.size(); ++i) {
     mask[i] = rng_.Bernoulli(rate_) ? 0.0f : keep_scale;
   }
   return Mul(x, Tensor::Constant(std::move(mask)));

@@ -6,6 +6,10 @@ namespace m2g::serve {
 
 std::vector<EtaService::OrderEta> EtaService::Estimate(
     const RtpRequest& request) const {
+  // Request-scoped arena (nests with the one inside Handle): the
+  // response's sample/prediction buffers are released back to the pool
+  // before the next estimate on this thread.
+  ArenaGuard arena;
   RtpService::Response response = rtp_->Handle(request);
   const auto& route = response.prediction.location_route;
   std::vector<int> stops_before(route.size(), 0);

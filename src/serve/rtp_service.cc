@@ -5,13 +5,21 @@
 namespace m2g::serve {
 
 RtpService::Response RtpService::Handle(const RtpRequest& request) const {
-  // Serving never backpropagates: skip all graph construction.
+  // Serving never backpropagates: skip all graph construction. The
+  // request-scoped arena recycles every forward-pass buffer through the
+  // thread-local pool — once a serving thread is warm, the steady-state
+  // hot path performs zero heap allocations for tensor storage.
   NoGradGuard no_grad;
+  ArenaGuard arena;
   Response response;
   response.sample = extractor_.BuildSample(request);
   response.prediction = model_->Predict(response.sample);
   requests_served_.fetch_add(1, std::memory_order_relaxed);
   return response;
+}
+
+TensorPool::ArenaCounters RtpService::pool_counters() {
+  return TensorPool::AggregatedArenaCounters();
 }
 
 }  // namespace m2g::serve

@@ -7,6 +7,7 @@
 #include "core/model.h"
 #include "serve/feature_extractor.h"
 #include "serve/graph_builder.h"
+#include "tensor/pool.h"
 
 namespace m2g::serve {
 
@@ -37,6 +38,11 @@ class RtpService {
   int64_t requests_served() const {
     return requests_served_.load(std::memory_order_relaxed);
   }
+
+  /// Tensor-pool behaviour across all request arenas (process-wide
+  /// monitoring counters; steady-state serving should report zero new
+  /// misses once every serving thread has warmed its pool).
+  static TensorPool::ArenaCounters pool_counters();
 
  private:
   FeatureExtractor extractor_;

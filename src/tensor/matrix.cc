@@ -2,15 +2,57 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "common/string_util.h"
 
 namespace m2g {
+namespace {
+
+/// out += a * b accumulated in the canonical i-k-j order (streams through
+/// b and out row-wise, skips zero entries of a). Every matmul-shaped
+/// kernel below goes through this one loop so their accumulation orders
+/// are identical by construction.
+void MatMulAccumulate(const Matrix& a, const Matrix& b, Matrix* out) {
+  const int n = a.rows(), k = a.cols(), m = b.cols();
+  for (int i = 0; i < n; ++i) {
+    const float* arow = a.data() + static_cast<size_t>(i) * k;
+    float* orow = out->data() + static_cast<size_t>(i) * m;
+    for (int p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = b.data() + static_cast<size_t>(p) * m;
+      for (int j = 0; j < m; ++j) orow[j] += av * brow[j];
+    }
+  }
+}
+
+void AddRowBias(const Matrix& bias, Matrix* out) {
+  const float* brow = bias.data();
+  for (int r = 0; r < out->rows(); ++r) {
+    float* orow = out->data() + static_cast<size_t>(r) * out->cols();
+    for (int c = 0; c < out->cols(); ++c) orow[c] += brow[c];
+  }
+}
+
+}  // namespace
+
+Matrix::Matrix(int rows, int cols, const std::vector<float>& data)
+    : Matrix(rows, cols, Storage::Init::kUninitialized) {
+  M2G_CHECK_EQ(size(), data.size());
+  if (!data.empty()) {
+    std::memcpy(data_.data(), data.data(), data.size() * sizeof(float));
+  }
+}
+
+Matrix Matrix::Uninit(int rows, int cols) {
+  return Matrix(rows, cols, Storage::Init::kUninitialized);
+}
 
 Matrix Matrix::Ones(int rows, int cols) { return Full(rows, cols, 1.0f); }
 
 Matrix Matrix::Full(int rows, int cols, float value) {
-  Matrix m(rows, cols);
+  Matrix m = Uninit(rows, cols);
   m.Fill(value);
   return m;
 }
@@ -26,48 +68,58 @@ Matrix Matrix::RowVector(const std::vector<float>& values) {
 }
 
 Matrix Matrix::Random(int rows, int cols, float lo, float hi, Rng* rng) {
-  Matrix m(rows, cols);
-  for (int i = 0; i < m.size(); ++i) {
+  Matrix m = Uninit(rows, cols);
+  for (size_t i = 0; i < m.size(); ++i) {
     m[i] = static_cast<float>(rng->Uniform(lo, hi));
   }
   return m;
 }
 
 void Matrix::Fill(float value) {
-  std::fill(data_.begin(), data_.end(), value);
+  std::fill(data_.data(), data_.data() + size(), value);
 }
 
 void Matrix::AddInPlace(const Matrix& other) {
   M2G_CHECK(SameShape(other));
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  float* a = data_.data();
+  const float* b = other.data_.data();
+  for (size_t i = 0, n = size(); i < n; ++i) a[i] += b[i];
 }
 
 void Matrix::AddScaledInPlace(const Matrix& other, float scale) {
   M2G_CHECK(SameShape(other));
-  for (size_t i = 0; i < data_.size(); ++i) {
-    data_[i] += scale * other.data_[i];
-  }
+  float* a = data_.data();
+  const float* b = other.data_.data();
+  for (size_t i = 0, n = size(); i < n; ++i) a[i] += scale * b[i];
 }
 
 void Matrix::ScaleInPlace(float scale) {
-  for (float& v : data_) v *= scale;
+  float* a = data_.data();
+  for (size_t i = 0, n = size(); i < n; ++i) a[i] *= scale;
 }
 
 float Matrix::Sum() const {
   float s = 0.0f;
-  for (float v : data_) s += v;
+  const float* a = data_.data();
+  for (size_t i = 0, n = size(); i < n; ++i) s += a[i];
   return s;
 }
 
 float Matrix::Norm() const {
   double s = 0.0;
-  for (float v : data_) s += static_cast<double>(v) * v;
+  const float* a = data_.data();
+  for (size_t i = 0, n = size(); i < n; ++i) {
+    s += static_cast<double>(a[i]) * a[i];
+  }
   return static_cast<float>(std::sqrt(s));
 }
 
 float Matrix::MaxAbs() const {
   float m = 0.0f;
-  for (float v : data_) m = std::max(m, std::fabs(v));
+  const float* a = data_.data();
+  for (size_t i = 0, n = size(); i < n; ++i) {
+    m = std::max(m, std::fabs(a[i]));
+  }
   return m;
 }
 
@@ -85,13 +137,28 @@ std::string Matrix::ToString() const {
 Matrix MatMulRaw(const Matrix& a, const Matrix& b) {
   M2G_CHECK_EQ(a.cols(), b.rows());
   Matrix out(a.rows(), b.cols());
-  const int n = a.rows(), k = a.cols(), m = b.cols();
-  // i-k-j loop order: streams through b and out row-wise.
+  MatMulAccumulate(a, b, &out);
+  return out;
+}
+
+Matrix TransposeRaw(const Matrix& a) {
+  Matrix out = Matrix::Uninit(a.cols(), a.rows());
+  for (int r = 0; r < a.rows(); ++r) {
+    for (int c = 0; c < a.cols(); ++c) out.At(c, r) = a.At(r, c);
+  }
+  return out;
+}
+
+Matrix MatMulATB(const Matrix& a, const Matrix& b) {
+  M2G_CHECK_EQ(a.rows(), b.rows());
+  const int n = a.cols(), k = a.rows(), m = b.cols();
+  Matrix out(n, m);
+  // Same i-k-j order and zero-skip as MatMulRaw(TransposeRaw(a), b):
+  // T(i,p) there is a(p,i) here, read strided instead of copied.
   for (int i = 0; i < n; ++i) {
-    const float* arow = a.data() + static_cast<size_t>(i) * k;
     float* orow = out.data() + static_cast<size_t>(i) * m;
     for (int p = 0; p < k; ++p) {
-      const float av = arow[p];
+      const float av = a.data()[static_cast<size_t>(p) * n + i];
       if (av == 0.0f) continue;
       const float* brow = b.data() + static_cast<size_t>(p) * m;
       for (int j = 0; j < m; ++j) orow[j] += av * brow[j];
@@ -100,11 +167,62 @@ Matrix MatMulRaw(const Matrix& a, const Matrix& b) {
   return out;
 }
 
-Matrix TransposeRaw(const Matrix& a) {
-  Matrix out(a.cols(), a.rows());
-  for (int r = 0; r < a.rows(); ++r) {
-    for (int c = 0; c < a.cols(); ++c) out.At(c, r) = a.At(r, c);
+Matrix MatMulABT(const Matrix& a, const Matrix& b) {
+  M2G_CHECK_EQ(a.cols(), b.cols());
+  const int n = a.rows(), k = a.cols(), m = b.rows();
+  Matrix out(n, m);
+  // Same i-k-j order and zero-skip as MatMulRaw(a, TransposeRaw(b)):
+  // T(p,j) there is b(j,p) here, read strided instead of copied.
+  for (int i = 0; i < n; ++i) {
+    const float* arow = a.data() + static_cast<size_t>(i) * k;
+    float* orow = out.data() + static_cast<size_t>(i) * m;
+    for (int p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      for (int j = 0; j < m; ++j) {
+        orow[j] += av * b.data()[static_cast<size_t>(j) * k + p];
+      }
+    }
   }
+  return out;
+}
+
+Matrix AffineRaw(const Matrix& x, const Matrix& w, const Matrix* bias,
+                 Activation act) {
+  M2G_CHECK_EQ(x.cols(), w.rows());
+  if (bias != nullptr) {
+    M2G_CHECK_EQ(bias->rows(), 1);
+    M2G_CHECK_EQ(bias->cols(), w.cols());
+  }
+  Matrix out(x.rows(), w.cols());
+  MatMulAccumulate(x, w, &out);
+  if (bias != nullptr) AddRowBias(*bias, &out);
+  if (act == Activation::kRelu) {
+    float* o = out.data();
+    for (size_t i = 0, n = out.size(); i < n; ++i) {
+      o[i] = o[i] > 0.0f ? o[i] : 0.0f;
+    }
+  }
+  return out;
+}
+
+Matrix DualAffineRaw(const Matrix& x, const Matrix& wx, const Matrix& h,
+                     const Matrix& wh, const Matrix& bias) {
+  M2G_CHECK_EQ(x.cols(), wx.rows());
+  M2G_CHECK_EQ(h.cols(), wh.rows());
+  M2G_CHECK_EQ(wx.cols(), wh.cols());
+  M2G_CHECK_EQ(bias.rows(), 1);
+  M2G_CHECK_EQ(bias.cols(), wx.cols());
+  Matrix out(x.rows(), wx.cols());
+  MatMulAccumulate(x, wx, &out);
+  // The second product must be materialized before the elementwise add:
+  // folding it into `out` directly would interleave the two summations
+  // and change float rounding. The scratch comes from the pool, so on a
+  // warm arena this costs no malloc.
+  Matrix scratch(h.rows(), wh.cols());
+  MatMulAccumulate(h, wh, &scratch);
+  out.AddInPlace(scratch);
+  AddRowBias(bias, &out);
   return out;
 }
 

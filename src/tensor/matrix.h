@@ -1,11 +1,13 @@
 #ifndef M2G_TENSOR_MATRIX_H_
 #define M2G_TENSOR_MATRIX_H_
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
 #include "common/check.h"
 #include "common/rng.h"
+#include "tensor/pool.h"
 
 namespace m2g {
 
@@ -14,21 +16,27 @@ namespace m2g {
 /// All shapes in this codebase are tiny (n <= ~80 graph nodes, d <= ~128
 /// hidden units), so a simple contiguous buffer with exact O(n^3) kernels
 /// outperforms anything fancier and keeps results bit-reproducible.
+///
+/// The buffer lives in a `Storage` drawn from the thread-local tensor
+/// pool (tensor/pool.h): inside an ArenaGuard scope, temporaries recycle
+/// without touching malloc. Matrices keep deep-copy value semantics and
+/// may outlive any arena scope.
 class Matrix {
  public:
   Matrix() : rows_(0), cols_(0) {}
   Matrix(int rows, int cols)
       : rows_(rows), cols_(cols),
-        data_(static_cast<size_t>(rows) * cols, 0.0f) {
+        data_(static_cast<size_t>(rows) * static_cast<size_t>(cols),
+              Storage::Init::kZeroed) {
     M2G_CHECK_GE(rows, 0);
     M2G_CHECK_GE(cols, 0);
   }
-  Matrix(int rows, int cols, std::vector<float> data)
-      : rows_(rows), cols_(cols), data_(std::move(data)) {
-    M2G_CHECK_EQ(static_cast<size_t>(rows) * cols, data_.size());
-  }
+  Matrix(int rows, int cols, const std::vector<float>& data);
 
   static Matrix Zeros(int rows, int cols) { return Matrix(rows, cols); }
+  /// Uninitialized allocation for kernels that fully overwrite their
+  /// output: skips the zero-fill (and, on a warm pool, any malloc).
+  static Matrix Uninit(int rows, int cols);
   static Matrix Ones(int rows, int cols);
   static Matrix Full(int rows, int cols, float value);
   static Matrix Identity(int n);
@@ -39,22 +47,34 @@ class Matrix {
 
   int rows() const { return rows_; }
   int cols() const { return cols_; }
-  int size() const { return rows_ * cols_; }
+  /// Element count as size_t: flat-index arithmetic never runs through
+  /// int (rows * cols overflows int silently at ~46k x 46k).
+  size_t size() const {
+    return static_cast<size_t>(rows_) * static_cast<size_t>(cols_);
+  }
   bool empty() const { return data_.empty(); }
 
+  /// Bounds-checked in debug builds only (M2G_DCHECK): At() is the
+  /// per-element hot path and the checks compile out under -DNDEBUG.
   float& At(int r, int c) {
-    M2G_CHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
-    return data_[static_cast<size_t>(r) * cols_ + c];
+    M2G_DCHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_.data()[static_cast<size_t>(r) * cols_ + c];
   }
   float At(int r, int c) const {
-    M2G_CHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
-    return data_[static_cast<size_t>(r) * cols_ + c];
+    M2G_DCHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_.data()[static_cast<size_t>(r) * cols_ + c];
   }
   /// Unchecked flat access for kernels.
   float* data() { return data_.data(); }
   const float* data() const { return data_.data(); }
-  float& operator[](size_t i) { return data_[i]; }
-  float operator[](size_t i) const { return data_[i]; }
+  float& operator[](size_t i) {
+    M2G_DCHECK_LT(i, size());
+    return data_.data()[i];
+  }
+  float operator[](size_t i) const {
+    M2G_DCHECK_LT(i, size());
+    return data_.data()[i];
+  }
 
   void Fill(float value);
   void SetZero() { Fill(0.0f); }
@@ -81,16 +101,54 @@ class Matrix {
   std::string ToString() const;
 
  private:
+  Matrix(int rows, int cols, Storage::Init init)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<size_t>(rows) * static_cast<size_t>(cols), init) {
+    M2G_CHECK_GE(rows, 0);
+    M2G_CHECK_GE(cols, 0);
+  }
+
   int rows_;
   int cols_;
-  std::vector<float> data_;
+  Storage data_;
 };
+
+/// Activation fused into affine kernels (only what the models use; the
+/// other activations stay standalone ops).
+enum class Activation { kNone, kRelu };
 
 /// out = a * b. Shapes (n,k) x (k,m) -> (n,m).
 Matrix MatMulRaw(const Matrix& a, const Matrix& b);
 
 /// out = a^T.
 Matrix TransposeRaw(const Matrix& a);
+
+// ---------------------------------------------------------------------------
+// Transpose-free fused kernels. Each reproduces the exact accumulation
+// order of the op composition it replaces (same i-k-j loops, same
+// skip-if-zero), so results are bitwise-identical to the unfused path —
+// only the transpose copies and intermediate buffers disappear.
+// ---------------------------------------------------------------------------
+
+/// out = a^T * b without materializing a^T. Shapes (k,n) x (k,m) -> (n,m).
+/// Bitwise-identical to MatMulRaw(TransposeRaw(a), b).
+Matrix MatMulATB(const Matrix& a, const Matrix& b);
+
+/// out = a * b^T without materializing b^T. Shapes (n,k) x (m,k) -> (n,m).
+/// Bitwise-identical to MatMulRaw(a, TransposeRaw(b)).
+Matrix MatMulABT(const Matrix& a, const Matrix& b);
+
+/// out = act(x * w + bias) with bias a (1, m) row broadcast over rows
+/// (`bias` may be null for pure projections). Bitwise-identical to the
+/// MatMulRaw + row-broadcast-add (+ activation) composition.
+Matrix AffineRaw(const Matrix& x, const Matrix& w, const Matrix* bias,
+                 Activation act = Activation::kNone);
+
+/// out = x * wx + h * wh + bias: the LSTM gate pre-activation, fused.
+/// Bitwise-identical to AddInPlace(MatMulRaw(x,wx), MatMulRaw(h,wh)) plus
+/// the row-broadcast bias add.
+Matrix DualAffineRaw(const Matrix& x, const Matrix& wx, const Matrix& h,
+                     const Matrix& wh, const Matrix& bias);
 
 }  // namespace m2g
 

@@ -33,17 +33,51 @@ Tensor MakeOp(NodePtr out, std::vector<NodePtr> parents,
 template <typename F, typename DF>
 Tensor UnaryOp(const Tensor& a, F&& f, DF&& dfn) {
   const Matrix& av = a.value();
-  Matrix out(av.rows(), av.cols());
-  for (int i = 0; i < av.size(); ++i) out[i] = f(av[i]);
+  Matrix out = Matrix::Uninit(av.rows(), av.cols());
+  for (size_t i = 0; i < av.size(); ++i) out[i] = f(av[i]);
   NodePtr node = NewNode(std::move(out));
   NodePtr an = a.node();
   return MakeOp(node, {an}, [an, dfn](TensorNode* self) {
     if (!an->requires_grad) return;
     Matrix& g = an->EnsureGrad();
-    for (int i = 0; i < g.size(); ++i) {
+    for (size_t i = 0; i < g.size(); ++i) {
       g[i] += self->grad[i] * dfn(an->value[i], self->value[i]);
     }
   });
+}
+
+/// Shared backward for Affine (and MatMul, with bias == nullptr and no
+/// activation): db first, then dx, then dw — the execution order of the
+/// unfused AddRowBroadcast -> MatMul chain it replaces. A grad-disabled
+/// parent costs nothing: neither product nor transpose is computed for
+/// it (the old backward materialized transposes unconditionally).
+void AffineBackward(const NodePtr& xn, const NodePtr& wn, TensorNode* bias,
+                    Activation act, TensorNode* self) {
+  const Matrix* g = &self->grad;
+  Matrix masked;
+  if (act == Activation::kRelu) {
+    // d/dpre relu = 1[pre > 0]; pre > 0 iff out > 0, so the fused node
+    // needs no stored pre-activation. The product form (g * 0/1) keeps
+    // the exact float semantics of the standalone Relu backward.
+    const Matrix& y = self->value;
+    masked = Matrix::Uninit(y.rows(), y.cols());
+    for (size_t i = 0; i < y.size(); ++i) {
+      masked[i] = self->grad[i] * (y[i] > 0.0f ? 1.0f : 0.0f);
+    }
+    g = &masked;
+  }
+  if (bias != nullptr && bias->requires_grad) {
+    Matrix& bg = bias->EnsureGrad();
+    for (int r = 0; r < g->rows(); ++r) {
+      for (int c = 0; c < g->cols(); ++c) bg.At(0, c) += g->At(r, c);
+    }
+  }
+  if (xn->requires_grad) {
+    xn->EnsureGrad().AddInPlace(MatMulABT(*g, wn->value));
+  }
+  if (wn->requires_grad) {
+    wn->EnsureGrad().AddInPlace(MatMulATB(xn->value, *g));
+  }
 }
 
 }  // namespace
@@ -52,15 +86,85 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   NodePtr node = NewNode(MatMulRaw(a.value(), b.value()));
   NodePtr an = a.node(), bn = b.node();
   return MakeOp(node, {an, bn}, [an, bn](TensorNode* self) {
+    // Transpose-free: each side is one fused kernel, and a grad-disabled
+    // side computes nothing at all.
     if (an->requires_grad) {
-      an->EnsureGrad().AddInPlace(
-          MatMulRaw(self->grad, TransposeRaw(bn->value)));
+      an->EnsureGrad().AddInPlace(MatMulABT(self->grad, bn->value));
     }
     if (bn->requires_grad) {
-      bn->EnsureGrad().AddInPlace(
-          MatMulRaw(TransposeRaw(an->value), self->grad));
+      bn->EnsureGrad().AddInPlace(MatMulATB(an->value, self->grad));
     }
   });
+}
+
+Tensor Affine(const Tensor& x, const Tensor& w, const Tensor& b,
+              Activation act) {
+  const Matrix* bias = b.defined() ? &b.value() : nullptr;
+  NodePtr node = NewNode(AffineRaw(x.value(), w.value(), bias, act));
+  NodePtr xn = x.node(), wn = w.node();
+  if (!b.defined()) {
+    return MakeOp(node, {xn, wn}, [xn, wn, act](TensorNode* self) {
+      AffineBackward(xn, wn, nullptr, act, self);
+    });
+  }
+  NodePtr bn = b.node();
+  return MakeOp(node, {xn, wn, bn}, [xn, wn, bn, act](TensorNode* self) {
+    AffineBackward(xn, wn, bn.get(), act, self);
+  });
+}
+
+Tensor DualAffine(const Tensor& x, const Tensor& wx, const Tensor& h,
+                  const Tensor& wh, const Tensor& b) {
+  if (!GradMode::enabled()) {
+    // Inference: one fully fused kernel, no graph nodes at all.
+    return Tensor::Constant(DualAffineRaw(x.value(), wx.value(), h.value(),
+                                          wh.value(), b.value()));
+  }
+  // Training builds TWO nodes, not one. In a recurrent chain the h input
+  // carries the recursion to earlier timesteps while the x-side product
+  // hangs off to the side; in the unfused chain that product was its own
+  // node, popped by the backward DFS *before* the recursion, so its
+  // dx/dwx accumulations ran in ascending timestep order. Fusing all
+  // five inputs into one node would move those accumulations to the
+  // gates node's slot (descending order) and change float summation
+  // order for any weight shared across >= 3 steps. Keeping the x-side
+  // matmul as its own node pins every accumulation to its old slot.
+  Tensor xw = MatMul(x, wx);
+  const Matrix& bv = b.value();
+  M2G_CHECK_EQ(h.value().cols(), wh.value().rows());
+  M2G_CHECK_EQ(bv.rows(), 1);
+  M2G_CHECK_EQ(bv.cols(), xw.value().cols());
+  Matrix out = xw.value();
+  out.AddInPlace(MatMulRaw(h.value(), wh.value()));
+  for (int r = 0; r < out.rows(); ++r) {
+    for (int c = 0; c < out.cols(); ++c) out.At(r, c) += bv.At(0, c);
+  }
+  NodePtr node = NewNode(std::move(out));
+  NodePtr xwn = xw.node(), hn = h.node(), whn = wh.node(), bn = b.node();
+  return MakeOp(node, {xwn, hn, whn, bn},
+                [xwn, hn, whn, bn](TensorNode* self) {
+                  const Matrix& g = self->grad;
+                  // Same per-leaf products and accumulation slots as the
+                  // unfused chain (bias add ran first, then the h-side
+                  // matmul; the x-side runs later, at the xw node).
+                  if (bn->requires_grad) {
+                    Matrix& bg = bn->EnsureGrad();
+                    for (int r = 0; r < g.rows(); ++r) {
+                      for (int c = 0; c < g.cols(); ++c) {
+                        bg.At(0, c) += g.At(r, c);
+                      }
+                    }
+                  }
+                  if (xwn->requires_grad) {
+                    xwn->EnsureGrad().AddInPlace(g);
+                  }
+                  if (hn->requires_grad) {
+                    hn->EnsureGrad().AddInPlace(MatMulABT(g, whn->value));
+                  }
+                  if (whn->requires_grad) {
+                    whn->EnsureGrad().AddInPlace(MatMulATB(hn->value, g));
+                  }
+                });
 }
 
 Tensor Add(const Tensor& a, const Tensor& b) {
@@ -116,19 +220,19 @@ Tensor Sub(const Tensor& a, const Tensor& b) {
 Tensor Mul(const Tensor& a, const Tensor& b) {
   M2G_CHECK(a.value().SameShape(b.value()));
   Matrix out = a.value();
-  for (int i = 0; i < out.size(); ++i) out[i] *= b.value()[i];
+  for (size_t i = 0; i < out.size(); ++i) out[i] *= b.value()[i];
   NodePtr node = NewNode(std::move(out));
   NodePtr an = a.node(), bn = b.node();
   return MakeOp(node, {an, bn}, [an, bn](TensorNode* self) {
     if (an->requires_grad) {
       Matrix& g = an->EnsureGrad();
-      for (int i = 0; i < g.size(); ++i) {
+      for (size_t i = 0; i < g.size(); ++i) {
         g[i] += self->grad[i] * bn->value[i];
       }
     }
     if (bn->requires_grad) {
       Matrix& g = bn->EnsureGrad();
-      for (int i = 0; i < g.size(); ++i) {
+      for (size_t i = 0; i < g.size(); ++i) {
         g[i] += self->grad[i] * an->value[i];
       }
     }
@@ -154,10 +258,10 @@ Tensor AddScalar(const Tensor& a, float s) {
 Tensor Neg(const Tensor& a) { return Scale(a, -1.0f); }
 
 Tensor AddScalarTensor(const Tensor& a, const Tensor& s) {
-  M2G_CHECK_EQ(s.value().size(), 1);
+  M2G_CHECK_EQ(s.value().size(), 1u);
   Matrix out = a.value();
   const float sv = s.value()[0];
-  for (int i = 0; i < out.size(); ++i) out[i] += sv;
+  for (size_t i = 0; i < out.size(); ++i) out[i] += sv;
   NodePtr node = NewNode(std::move(out));
   NodePtr an = a.node(), sn = s.node();
   return MakeOp(node, {an, sn}, [an, sn](TensorNode* self) {
@@ -222,7 +326,7 @@ Tensor ConcatCols(const Tensor& a, const Tensor& b) {
   const Matrix& av = a.value();
   const Matrix& bv = b.value();
   M2G_CHECK_EQ(av.rows(), bv.rows());
-  Matrix out(av.rows(), av.cols() + bv.cols());
+  Matrix out = Matrix::Uninit(av.rows(), av.cols() + bv.cols());
   for (int r = 0; r < out.rows(); ++r) {
     for (int c = 0; c < av.cols(); ++c) out.At(r, c) = av.At(r, c);
     for (int c = 0; c < bv.cols(); ++c) {
@@ -258,7 +362,7 @@ Tensor ConcatRows(const std::vector<Tensor>& parts) {
     M2G_CHECK_EQ(p.cols(), cols);
     rows += p.rows();
   }
-  Matrix out(rows, cols);
+  Matrix out = Matrix::Uninit(rows, cols);
   int at = 0;
   for (const Tensor& p : parts) {
     const Matrix& pv = p.value();
@@ -291,7 +395,7 @@ Tensor ConcatRows(const std::vector<Tensor>& parts) {
 Tensor SliceCols(const Tensor& a, int start, int len) {
   const Matrix& av = a.value();
   M2G_CHECK(start >= 0 && len >= 0 && start + len <= av.cols());
-  Matrix out(av.rows(), len);
+  Matrix out = Matrix::Uninit(av.rows(), len);
   for (int r = 0; r < av.rows(); ++r) {
     for (int c = 0; c < len; ++c) out.At(r, c) = av.At(r, start + c);
   }
@@ -311,7 +415,7 @@ Tensor SliceCols(const Tensor& a, int start, int len) {
 Tensor SliceRows(const Tensor& a, int start, int len) {
   const Matrix& av = a.value();
   M2G_CHECK(start >= 0 && len >= 0 && start + len <= av.rows());
-  Matrix out(len, av.cols());
+  Matrix out = Matrix::Uninit(len, av.cols());
   for (int r = 0; r < len; ++r) {
     for (int c = 0; c < av.cols(); ++c) out.At(r, c) = av.At(start + r, c);
   }
@@ -332,7 +436,7 @@ Tensor Row(const Tensor& a, int i) { return SliceRows(a, i, 1); }
 
 Tensor GatherRows(const Tensor& a, const std::vector<int>& indices) {
   const Matrix& av = a.value();
-  Matrix out(static_cast<int>(indices.size()), av.cols());
+  Matrix out = Matrix::Uninit(static_cast<int>(indices.size()), av.cols());
   for (size_t r = 0; r < indices.size(); ++r) {
     M2G_CHECK(indices[r] >= 0 && indices[r] < av.rows());
     for (int c = 0; c < av.cols(); ++c) {
@@ -353,7 +457,7 @@ Tensor GatherRows(const Tensor& a, const std::vector<int>& indices) {
 }
 
 Tensor Sum(const Tensor& a) {
-  Matrix out(1, 1);
+  Matrix out = Matrix::Uninit(1, 1);
   out[0] = a.value().Sum();
   NodePtr node = NewNode(std::move(out));
   NodePtr an = a.node();
@@ -361,7 +465,7 @@ Tensor Sum(const Tensor& a) {
     if (!an->requires_grad) return;
     Matrix& g = an->EnsureGrad();
     const float d = self->grad[0];
-    for (int i = 0; i < g.size(); ++i) g[i] += d;
+    for (size_t i = 0; i < g.size(); ++i) g[i] += d;
   });
 }
 
@@ -409,7 +513,7 @@ Tensor MaskedSoftmaxRow(const Tensor& logits, const std::vector<bool>& mask) {
     }
   }
   M2G_CHECK_MSG(any, "MaskedSoftmaxRow: all positions masked");
-  Matrix out(1, lv.cols());
+  Matrix out = Matrix::Uninit(1, lv.cols());
   double denom = 0;
   for (int i = 0; i < lv.cols(); ++i) {
     if (mask[i]) {
@@ -455,7 +559,7 @@ Tensor MaskedCrossEntropy(const Tensor& logits, int target,
     if (mask[i]) denom += std::exp(lv[i] - max_v);
   }
   const float log_z = max_v + static_cast<float>(std::log(denom));
-  Matrix out(1, 1);
+  Matrix out = Matrix::Uninit(1, 1);
   out[0] = log_z - lv[target];
   NodePtr node = NewNode(std::move(out));
   NodePtr ln = logits.node();
@@ -488,8 +592,8 @@ Tensor LayerNormRows(const Tensor& x, const Tensor& gain,
   M2G_CHECK_EQ(bias.value().rows(), 1);
   M2G_CHECK_EQ(bias.value().cols(), d);
 
-  Matrix out(n, d);
-  Matrix x_hat(n, d);
+  Matrix out = Matrix::Uninit(n, d);
+  Matrix x_hat = Matrix::Uninit(n, d);
   std::vector<float> inv_std(n);
   for (int r = 0; r < n; ++r) {
     double mean = 0;

@@ -16,6 +16,19 @@ namespace m2g {
 /// (n,k) x (k,m) -> (n,m).
 Tensor MatMul(const Tensor& a, const Tensor& b);
 
+/// Fused act(x * w + b): one node replacing the MatMul + AddRowBroadcast
+/// (+ Relu) chain — bitwise-identical values and gradients, no transpose
+/// copies in the backward (MatMulATB / MatMulABT kernels) and no
+/// intermediate graph nodes. `b` may be undefined (pure projection).
+Tensor Affine(const Tensor& x, const Tensor& w, const Tensor& b,
+              Activation act = Activation::kNone);
+
+/// Fused x*wx + h*wh + b: the LSTM gate pre-activation as one node,
+/// replacing AddRowBroadcast(Add(MatMul(x,wx), MatMul(h,wh)), b) with
+/// bitwise-identical values and gradients.
+Tensor DualAffine(const Tensor& x, const Tensor& wx, const Tensor& h,
+                  const Tensor& wh, const Tensor& b);
+
 /// Elementwise a + b, same shape.
 Tensor Add(const Tensor& a, const Tensor& b);
 

@@ -1,0 +1,217 @@
+#include "tensor/pool.h"
+
+#include <atomic>
+#include <cstring>
+#include <new>
+#include <vector>
+
+#include "common/check.h"
+
+namespace m2g {
+namespace {
+
+/// Size classes are powers of two, smallest 8 floats (32 B): shapes here
+/// are tiny (n <= ~80 nodes, d <= ~128 hidden), so a request touches a
+/// handful of classes and the rounding waste is bounded at 2x.
+constexpr int kMinClassLog2 = 3;
+constexpr int kNumClasses = 40;
+
+size_t ClassCapacity(int c) { return size_t{1} << (kMinClassLog2 + c); }
+
+int ClassFor(size_t n) {
+  int c = 0;
+  while (ClassCapacity(c) < n) ++c;
+  M2G_CHECK_LT(c, kNumClasses);
+  return c;
+}
+
+int ClassFromCapacity(size_t capacity) {
+  int c = 0;
+  while (ClassCapacity(c) != capacity) {
+    ++c;
+    M2G_CHECK_LT(c, kNumClasses);
+  }
+  return c;
+}
+
+struct PoolTls {
+  std::vector<float*> free_lists[kNumClasses];
+  TensorPool::Stats stats;
+  int arena_depth = 0;
+
+  ~PoolTls() {
+    for (auto& list : free_lists) {
+      for (float* p : list) ::operator delete(p);
+      list.clear();
+    }
+  }
+};
+
+PoolTls& Tls() {
+  thread_local PoolTls tls;
+  return tls;
+}
+
+std::atomic<bool> g_pool_enabled{true};
+std::atomic<uint64_t> g_arena_hits{0};
+std::atomic<uint64_t> g_arena_misses{0};
+
+bool RecyclingActive(const PoolTls& tls) {
+  return tls.arena_depth > 0 &&
+         g_pool_enabled.load(std::memory_order_relaxed);
+}
+
+}  // namespace
+
+namespace internal {
+
+float* PoolAlloc(size_t n, size_t* capacity) {
+  if (n == 0) {
+    *capacity = 0;
+    return nullptr;
+  }
+  PoolTls& tls = Tls();
+  const int c = ClassFor(n);
+  const size_t cap = ClassCapacity(c);
+  *capacity = cap;
+  if (RecyclingActive(tls)) {
+    std::vector<float*>& list = tls.free_lists[c];
+    if (!list.empty()) {
+      float* p = list.back();
+      list.pop_back();
+      ++tls.stats.pool_hits;
+      tls.stats.bytes_retained -= cap * sizeof(float);
+      --tls.stats.buffers_retained;
+      return p;
+    }
+    ++tls.stats.pool_misses;
+  } else {
+    ++tls.stats.unpooled_allocs;
+  }
+  ++tls.stats.heap_allocs;
+  return static_cast<float*>(::operator new(cap * sizeof(float)));
+}
+
+void PoolFree(float* ptr, size_t capacity) {
+  if (ptr == nullptr) return;
+  PoolTls& tls = Tls();
+  if (RecyclingActive(tls)) {
+    const int c = ClassFromCapacity(capacity);
+    tls.free_lists[c].push_back(ptr);
+    tls.stats.bytes_retained += capacity * sizeof(float);
+    ++tls.stats.buffers_retained;
+    return;
+  }
+  ::operator delete(ptr);
+}
+
+}  // namespace internal
+
+TensorPool::Stats TensorPool::ThreadStats() { return Tls().stats; }
+
+void TensorPool::ResetThreadStats() {
+  PoolTls& tls = Tls();
+  const uint64_t bytes = tls.stats.bytes_retained;
+  const uint64_t buffers = tls.stats.buffers_retained;
+  tls.stats = Stats{};
+  tls.stats.bytes_retained = bytes;
+  tls.stats.buffers_retained = buffers;
+}
+
+void TensorPool::ReleaseRetained() {
+  PoolTls& tls = Tls();
+  for (auto& list : tls.free_lists) {
+    for (float* p : list) ::operator delete(p);
+    list.clear();
+  }
+  tls.stats.bytes_retained = 0;
+  tls.stats.buffers_retained = 0;
+}
+
+bool TensorPool::ArenaActive() { return Tls().arena_depth > 0; }
+
+void TensorPool::set_enabled(bool enabled) {
+  g_pool_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool TensorPool::enabled() {
+  return g_pool_enabled.load(std::memory_order_relaxed);
+}
+
+TensorPool::ArenaCounters TensorPool::AggregatedArenaCounters() {
+  ArenaCounters counters;
+  counters.hits = g_arena_hits.load(std::memory_order_relaxed);
+  counters.misses = g_arena_misses.load(std::memory_order_relaxed);
+  return counters;
+}
+
+ArenaGuard::ArenaGuard() : entry_(Tls().stats) { ++Tls().arena_depth; }
+
+ArenaGuard::~ArenaGuard() {
+  PoolTls& tls = Tls();
+  if (--tls.arena_depth == 0) {
+    // Outermost exit: publish this scope's pool behaviour to the global
+    // monitoring counters (two relaxed adds per request, no contention
+    // on the hot path itself).
+    g_arena_hits.fetch_add(tls.stats.pool_hits - entry_.pool_hits,
+                           std::memory_order_relaxed);
+    g_arena_misses.fetch_add(tls.stats.pool_misses - entry_.pool_misses,
+                             std::memory_order_relaxed);
+  }
+}
+
+TensorPool::Stats ArenaGuard::ScopeStats() const {
+  const TensorPool::Stats now = Tls().stats;
+  TensorPool::Stats delta;
+  delta.pool_hits = now.pool_hits - entry_.pool_hits;
+  delta.pool_misses = now.pool_misses - entry_.pool_misses;
+  delta.unpooled_allocs = now.unpooled_allocs - entry_.unpooled_allocs;
+  delta.heap_allocs = now.heap_allocs - entry_.heap_allocs;
+  delta.bytes_retained = now.bytes_retained;
+  delta.buffers_retained = now.buffers_retained;
+  return delta;
+}
+
+Storage::Storage(size_t n, Init init) : size_(n) {
+  data_ = internal::PoolAlloc(n, &capacity_);
+  if (init == Init::kZeroed && n > 0) {
+    std::memset(data_, 0, n * sizeof(float));
+  }
+}
+
+Storage::~Storage() { internal::PoolFree(data_, capacity_); }
+
+Storage::Storage(const Storage& other)
+    : Storage(other.size_, Init::kUninitialized) {
+  if (size_ > 0) std::memcpy(data_, other.data_, size_ * sizeof(float));
+}
+
+Storage& Storage::operator=(const Storage& other) {
+  if (this == &other) return *this;
+  // Reallocate through the pool even when shrinking would fit: keeping
+  // buffers at their class size makes reuse exact and accounting simple.
+  Storage copy(other);
+  *this = std::move(copy);
+  return *this;
+}
+
+Storage::Storage(Storage&& other) noexcept
+    : data_(other.data_), size_(other.size_), capacity_(other.capacity_) {
+  other.data_ = nullptr;
+  other.size_ = 0;
+  other.capacity_ = 0;
+}
+
+Storage& Storage::operator=(Storage&& other) noexcept {
+  if (this == &other) return *this;
+  internal::PoolFree(data_, capacity_);
+  data_ = other.data_;
+  size_ = other.size_;
+  capacity_ = other.capacity_;
+  other.data_ = nullptr;
+  other.size_ = 0;
+  other.capacity_ = 0;
+  return *this;
+}
+
+}  // namespace m2g

@@ -1,0 +1,126 @@
+#ifndef M2G_TENSOR_POOL_H_
+#define M2G_TENSOR_POOL_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace m2g {
+
+namespace internal {
+
+/// Allocates a buffer of at least `n` floats from the current thread's
+/// size-class pool (or the heap when no arena is active / the pool is
+/// globally disabled). `*capacity` receives the size-class capacity the
+/// buffer actually has, which must be passed back to PoolFree.
+float* PoolAlloc(size_t n, size_t* capacity);
+
+/// Returns a PoolAlloc'd buffer. Inside an arena scope the buffer is
+/// retained on the current thread's free list for reuse; otherwise it
+/// goes straight back to the heap. Buffers may be freed on a different
+/// thread than the one that allocated them.
+void PoolFree(float* ptr, size_t capacity);
+
+}  // namespace internal
+
+/// Thread-local size-class free-list pool behind Matrix storage.
+///
+/// Pooling is scoped: buffers recycle only while an ArenaGuard is active
+/// on the thread, so long-lived allocations (parameters, snapshots) never
+/// bloat the free lists while hot-path temporaries (per-request inference
+/// graphs, per-sample training graphs) are served malloc-free once the
+/// pool is warm. Buffers are plain heap blocks of the class size, so a
+/// Matrix that escapes its arena scope stays valid and can be destroyed
+/// anywhere, on any thread.
+class TensorPool {
+ public:
+  /// Per-thread counters. hits/misses only count allocations made while
+  /// an arena was active; unpooled_allocs counts the rest. heap_allocs =
+  /// pool_misses + unpooled_allocs. bytes/buffers_retained describe the
+  /// thread's current free lists.
+  struct Stats {
+    uint64_t pool_hits = 0;
+    uint64_t pool_misses = 0;
+    uint64_t unpooled_allocs = 0;
+    uint64_t heap_allocs = 0;
+    uint64_t bytes_retained = 0;
+    uint64_t buffers_retained = 0;
+  };
+
+  static Stats ThreadStats();
+  /// Zeroes the current thread's hit/miss/alloc counters (retention
+  /// gauges are left alone — they describe live state).
+  static void ResetThreadStats();
+  /// Frees every buffer retained on the current thread's free lists.
+  static void ReleaseRetained();
+
+  /// True while an ArenaGuard is active on the current thread.
+  static bool ArenaActive();
+
+  /// Global kill switch (default on). While disabled, ArenaGuard scopes
+  /// are inert and every allocation goes to the heap — used to A/B the
+  /// pooled and plain storage paths; results are bitwise-identical.
+  static void set_enabled(bool enabled);
+  static bool enabled();
+
+  /// Process-wide hit/miss totals, flushed whenever an outermost
+  /// ArenaGuard exits (monitoring counters for the serving layer).
+  struct ArenaCounters {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+  };
+  static ArenaCounters AggregatedArenaCounters();
+};
+
+/// RAII scope that turns on pooled recycling for the current thread:
+/// every buffer released inside the scope is bulk-retained on the
+/// thread's free lists instead of returned to the heap, so the next
+/// request/sample graph with the same shape profile allocates without
+/// touching malloc. Guards nest; retention persists across scopes (that
+/// is what makes steady-state serving malloc-free). Matrices may safely
+/// outlive the scope — they own their buffers and fall back to plain
+/// heap frees outside any arena.
+class ArenaGuard {
+ public:
+  ArenaGuard();
+  ~ArenaGuard();
+
+  ArenaGuard(const ArenaGuard&) = delete;
+  ArenaGuard& operator=(const ArenaGuard&) = delete;
+
+  /// Hits/misses/allocs since this guard was entered (this thread only).
+  TensorPool::Stats ScopeStats() const;
+
+ private:
+  TensorPool::Stats entry_;
+};
+
+/// Flat float buffer with deep-copy value semantics, allocated through
+/// the pool. The `Storage` behind every Matrix.
+class Storage {
+ public:
+  Storage() = default;
+  /// kZeroed memsets the buffer; kUninitialized skips the fill for
+  /// kernels that fully overwrite their output.
+  enum class Init { kZeroed, kUninitialized };
+  Storage(size_t n, Init init);
+  ~Storage();
+
+  Storage(const Storage& other);
+  Storage& operator=(const Storage& other);
+  Storage(Storage&& other) noexcept;
+  Storage& operator=(Storage&& other) noexcept;
+
+  float* data() { return data_; }
+  const float* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+ private:
+  float* data_ = nullptr;
+  size_t size_ = 0;
+  size_t capacity_ = 0;  // size-class capacity, >= size_
+};
+
+}  // namespace m2g
+
+#endif  // M2G_TENSOR_POOL_H_

@@ -55,7 +55,7 @@ Tensor Tensor::FromNode(std::shared_ptr<internal::TensorNode> node) {
 float Tensor::item() const {
   M2G_CHECK_MSG(defined(),
                 "item() called on a null (default-constructed) Tensor");
-  M2G_CHECK_EQ(node_->value.size(), 1);
+  M2G_CHECK_EQ(node_->value.size(), 1u);
   return node_->value[0];
 }
 
@@ -66,7 +66,7 @@ void Tensor::ZeroGrad() const {
 
 void Tensor::Backward() const {
   M2G_CHECK(defined());
-  M2G_CHECK_MSG(node_->value.size() == 1,
+  M2G_CHECK_MSG(node_->value.size() == 1u,
                 "Backward() must start from a scalar");
 
   // Iterative DFS topological sort over the parent DAG.

@@ -20,7 +20,7 @@ void CheckGradients(const Tensor& param,
   ASSERT_TRUE(analytic.SameShape(param.value()));
 
   Matrix& w = param.node()->value;
-  for (int i = 0; i < w.size(); ++i) {
+  for (size_t i = 0; i < w.size(); ++i) {
     const float orig = w[i];
     w[i] = orig + eps;
     const float up = fn().item();
@@ -163,7 +163,9 @@ TEST(AutogradTest, MaskedSoftmaxRowSumsToOne) {
   Tensor p = MaskedSoftmaxRow(logits, mask);
   float total = 0;
   for (int i = 0; i < 5; ++i) {
-    if (!mask[i]) EXPECT_EQ(p.value()[i], 0.0f);
+    if (!mask[i]) {
+      EXPECT_EQ(p.value()[i], 0.0f);
+    }
     total += p.value()[i];
   }
   EXPECT_NEAR(total, 1.0f, 1e-5f);

@@ -263,7 +263,7 @@ TEST(Graph2RouteTest, EncoderUsesAdjacency) {
   }
   Tensor h2 = net.EncodeSample(s2);
   float diff = 0;
-  for (int i = 0; i < h1.value().size(); ++i) {
+  for (size_t i = 0; i < h1.value().size(); ++i) {
     diff += std::fabs(h1.value()[i] - h2.value()[i]);
   }
   EXPECT_GT(diff, 1e-4f);

@@ -293,7 +293,7 @@ TEST(SortLstmTest, OutputsIndexedByNode) {
   ASSERT_EQ(times.size(), static_cast<size_t>(n));
   for (const Tensor& t : times) {
     ASSERT_TRUE(t.defined());
-    EXPECT_EQ(t.value().size(), 1);
+    EXPECT_EQ(t.value().size(), 1u);
   }
 }
 
@@ -344,7 +344,7 @@ TEST(SortLstmTest, EdgeInputsChangePredictions) {
   Tensor nodes = Tensor::Constant(Matrix::Random(n, d, -1, 1, &rng));
   Matrix e1 = Matrix::Random(n * n, de, -1, 1, &rng);
   Matrix e2 = e1;
-  for (int i = 0; i < e2.size(); ++i) e2[i] += 0.5f;
+  for (size_t i = 0; i < e2.size(); ++i) e2[i] += 0.5f;
   std::vector<int> route = {2, 0, 3, 1};
   auto t1 = sort_lstm.Forward(nodes, route, Tensor::Constant(e1));
   auto t2 = sort_lstm.Forward(nodes, route, Tensor::Constant(e2));

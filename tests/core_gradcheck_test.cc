@@ -32,9 +32,9 @@ void CheckModuleGradients(const nn::Module& module,
     Matrix& w = p.node()->value;
     const Matrix& g = p.grad();
     if (!g.SameShape(w)) continue;  // parameter unused by this loss
-    const int stride =
-        std::max(1, w.size() / max_indices_per_param);
-    for (int i = 0; i < w.size(); i += stride) {
+    const size_t stride =
+        std::max<size_t>(1, w.size() / max_indices_per_param);
+    for (size_t i = 0; i < w.size(); i += stride) {
       const float orig = w[i];
       w[i] = orig + eps;
       const float up = loss_fn().item();

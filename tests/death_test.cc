@@ -13,9 +13,15 @@ namespace {
 using DeathTest = ::testing::Test;
 
 TEST(DeathTest, MatrixAtOutOfRangeAborts) {
+  // At() bounds checks are M2G_DCHECKs: they guard debug builds only and
+  // compile out of the element-access hot path under -DNDEBUG.
+#ifdef NDEBUG
+  GTEST_SKIP() << "At() bounds checks compile out in release builds";
+#else
   Matrix m(2, 2);
   EXPECT_DEATH(m.At(2, 0), "CHECK failed");
   EXPECT_DEATH(m.At(0, -1), "CHECK failed");
+#endif
 }
 
 TEST(DeathTest, NullTensorAccessorsAbort) {

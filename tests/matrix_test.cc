@@ -9,8 +9,8 @@ TEST(MatrixTest, ConstructionAndShape) {
   Matrix m(2, 3);
   EXPECT_EQ(m.rows(), 2);
   EXPECT_EQ(m.cols(), 3);
-  EXPECT_EQ(m.size(), 6);
-  for (int i = 0; i < m.size(); ++i) EXPECT_EQ(m[i], 0.0f);
+  EXPECT_EQ(m.size(), 6u);
+  for (size_t i = 0; i < m.size(); ++i) EXPECT_EQ(m[i], 0.0f);
 }
 
 TEST(MatrixTest, AtIsRowMajor) {
@@ -65,7 +65,7 @@ TEST(MatrixTest, MatMulIdentity) {
   Rng rng(3);
   Matrix a = Matrix::Random(4, 4, -1, 1, &rng);
   Matrix c = MatMulRaw(a, Matrix::Identity(4));
-  for (int i = 0; i < a.size(); ++i) EXPECT_FLOAT_EQ(c[i], a[i]);
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_FLOAT_EQ(c[i], a[i]);
 }
 
 TEST(MatrixTest, TransposeRoundTrip) {
@@ -75,14 +75,14 @@ TEST(MatrixTest, TransposeRoundTrip) {
   EXPECT_EQ(t.rows(), 5);
   EXPECT_EQ(t.cols(), 3);
   Matrix tt = TransposeRaw(t);
-  for (int i = 0; i < a.size(); ++i) EXPECT_FLOAT_EQ(tt[i], a[i]);
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_FLOAT_EQ(tt[i], a[i]);
 }
 
 TEST(MatrixTest, RandomIsDeterministicGivenSeed) {
   Rng r1(99), r2(99);
   Matrix a = Matrix::Random(3, 3, -1, 1, &r1);
   Matrix b = Matrix::Random(3, 3, -1, 1, &r2);
-  for (int i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
 }
 
 }  // namespace

@@ -168,7 +168,7 @@ TEST(SerializeTest, RoundTripRestoresExactWeights) {
   auto pb = b.Parameters();
   ASSERT_EQ(pa.size(), pb.size());
   for (size_t i = 0; i < pa.size(); ++i) {
-    for (int j = 0; j < pa[i].value().size(); ++j) {
+    for (size_t j = 0; j < pa[i].value().size(); ++j) {
       EXPECT_EQ(pa[i].value()[j], pb[i].value()[j]);
     }
   }

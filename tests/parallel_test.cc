@@ -161,7 +161,7 @@ const ParallelFixture& Fixture() {
 
 bool BitwiseEqual(const Matrix& a, const Matrix& b) {
   if (!a.SameShape(b)) return false;
-  for (int i = 0; i < a.size(); ++i) {
+  for (size_t i = 0; i < a.size(); ++i) {
     if (a[i] != b[i]) return false;
   }
   return true;

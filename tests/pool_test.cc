@@ -1,0 +1,251 @@
+// Tests for the thread-local tensor pool (tensor/pool.h): arena-scoped
+// recycling, hit/miss accounting, retention across scopes, the global
+// kill switch, and the deep-ownership guarantees that let Matrices
+// escape their arena (including across threads).
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "tensor/matrix.h"
+#include "tensor/pool.h"
+
+namespace m2g {
+namespace {
+
+// Flat-index arithmetic must never run through int (satellite: size()
+// overflows int at ~46k x 46k otherwise).
+static_assert(
+    std::is_same_v<decltype(std::declval<const Matrix&>().size()), size_t>,
+    "Matrix::size() must be size_t");
+static_assert(std::is_same_v<decltype(std::declval<const Storage&>().size()),
+                             size_t>,
+              "Storage::size() must be size_t");
+
+class PoolTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TensorPool::set_enabled(true);
+    TensorPool::ReleaseRetained();
+    TensorPool::ResetThreadStats();
+  }
+  void TearDown() override {
+    TensorPool::set_enabled(true);
+    TensorPool::ReleaseRetained();
+  }
+};
+
+TEST_F(PoolTest, MissThenHitWithinArena) {
+  ArenaGuard arena;
+  {
+    Matrix m(4, 4);
+    m.Fill(3.0f);
+  }
+  TensorPool::Stats after_first = arena.ScopeStats();
+  EXPECT_EQ(after_first.pool_hits, 0u);
+  EXPECT_GE(after_first.pool_misses, 1u);
+  EXPECT_GE(TensorPool::ThreadStats().buffers_retained, 1u);
+  {
+    Matrix m(4, 4);  // same size class: served from the free list
+  }
+  TensorPool::Stats after_second = arena.ScopeStats();
+  EXPECT_GE(after_second.pool_hits, 1u);
+  EXPECT_EQ(after_second.pool_misses, after_first.pool_misses);
+}
+
+TEST_F(PoolTest, ReusedBufferIsZeroed) {
+  ArenaGuard arena;
+  {
+    Matrix m(3, 5);
+    m.Fill(42.0f);
+  }
+  Matrix fresh(3, 5);
+  for (size_t i = 0; i < fresh.size(); ++i) {
+    EXPECT_EQ(fresh[i], 0.0f) << "recycled buffer not zeroed at " << i;
+  }
+}
+
+TEST_F(PoolTest, SameSizeClassIsShared) {
+  // 3x3 = 9 floats and 4x4 = 16 floats both land in the 16-float class.
+  ArenaGuard arena;
+  { Matrix m(4, 4); }
+  TensorPool::Stats before = arena.ScopeStats();
+  { Matrix m(3, 3); }
+  EXPECT_EQ(arena.ScopeStats().pool_hits, before.pool_hits + 1);
+}
+
+TEST_F(PoolTest, RetentionPersistsAcrossGuards) {
+  {
+    ArenaGuard arena;
+    Matrix m(8, 8);
+  }
+  // The buffer outlives the scope on the thread's free list...
+  EXPECT_GE(TensorPool::ThreadStats().buffers_retained, 1u);
+  EXPECT_GT(TensorPool::ThreadStats().bytes_retained, 0u);
+  // ...so a later arena with the same shape profile starts warm.
+  ArenaGuard arena;
+  { Matrix m(8, 8); }
+  EXPECT_GE(arena.ScopeStats().pool_hits, 1u);
+  EXPECT_EQ(arena.ScopeStats().pool_misses, 0u);
+}
+
+TEST_F(PoolTest, NoPoolingOutsideArena) {
+  ASSERT_FALSE(TensorPool::ArenaActive());
+  { Matrix m(4, 4); }
+  TensorPool::Stats stats = TensorPool::ThreadStats();
+  EXPECT_EQ(stats.pool_hits, 0u);
+  EXPECT_EQ(stats.pool_misses, 0u);
+  EXPECT_GE(stats.unpooled_allocs, 1u);
+  EXPECT_EQ(stats.buffers_retained, 0u);
+}
+
+TEST_F(PoolTest, ArenaActiveTracksNesting) {
+  EXPECT_FALSE(TensorPool::ArenaActive());
+  {
+    ArenaGuard outer;
+    EXPECT_TRUE(TensorPool::ArenaActive());
+    {
+      ArenaGuard inner;
+      EXPECT_TRUE(TensorPool::ArenaActive());
+    }
+    EXPECT_TRUE(TensorPool::ArenaActive());
+  }
+  EXPECT_FALSE(TensorPool::ArenaActive());
+}
+
+TEST_F(PoolTest, ReleaseRetainedEmptiesFreeLists) {
+  {
+    ArenaGuard arena;
+    Matrix a(4, 4);
+    Matrix b(16, 16);
+  }
+  ASSERT_GE(TensorPool::ThreadStats().buffers_retained, 2u);
+  TensorPool::ReleaseRetained();
+  EXPECT_EQ(TensorPool::ThreadStats().buffers_retained, 0u);
+  EXPECT_EQ(TensorPool::ThreadStats().bytes_retained, 0u);
+}
+
+TEST_F(PoolTest, DisabledPoolBypassesRecycling) {
+  TensorPool::set_enabled(false);
+  EXPECT_FALSE(TensorPool::enabled());
+  ArenaGuard arena;
+  { Matrix m(4, 4); }
+  { Matrix m(4, 4); }
+  TensorPool::Stats stats = arena.ScopeStats();
+  EXPECT_EQ(stats.pool_hits, 0u);
+  EXPECT_EQ(stats.pool_misses, 0u);
+  EXPECT_GE(stats.unpooled_allocs, 2u);
+  EXPECT_EQ(TensorPool::ThreadStats().buffers_retained, 0u);
+}
+
+TEST_F(PoolTest, MatrixEscapingArenaStaysValid) {
+  Matrix escaped;
+  {
+    ArenaGuard arena;
+    Matrix inside(6, 6);
+    inside.Fill(7.0f);
+    escaped = std::move(inside);
+  }
+  ASSERT_EQ(escaped.rows(), 6);
+  for (size_t i = 0; i < escaped.size(); ++i) EXPECT_EQ(escaped[i], 7.0f);
+  // Destroying it outside any arena goes to the heap, not a free list.
+  const uint64_t retained = TensorPool::ThreadStats().buffers_retained;
+  escaped = Matrix();
+  EXPECT_EQ(TensorPool::ThreadStats().buffers_retained, retained);
+}
+
+TEST_F(PoolTest, CrossThreadFreeIsSafe) {
+  // A Matrix pooled-allocated on one thread may be destroyed on another
+  // (e.g. a parallel-eval result reduced on the main thread).
+  Matrix made_on_worker;
+  std::thread producer([&] {
+    ArenaGuard arena;
+    Matrix m(5, 7);
+    m.Fill(1.5f);
+    made_on_worker = std::move(m);
+  });
+  producer.join();
+  EXPECT_EQ(made_on_worker.At(4, 6), 1.5f);
+  made_on_worker = Matrix();  // freed on the main thread
+
+  Matrix made_on_main;
+  {
+    ArenaGuard arena;
+    Matrix m(5, 7);
+    m.Fill(2.5f);
+    made_on_main = std::move(m);
+  }
+  std::thread consumer([m = std::move(made_on_main)]() mutable {
+    EXPECT_EQ(m.At(0, 0), 2.5f);
+    m = Matrix();  // freed on the consumer thread, no arena there
+  });
+  consumer.join();
+}
+
+TEST_F(PoolTest, ThreadLocalStatsAreIsolated) {
+  ArenaGuard arena;
+  { Matrix m(4, 4); }
+  const uint64_t main_misses = TensorPool::ThreadStats().pool_misses;
+  std::thread worker([] {
+    TensorPool::ResetThreadStats();
+    ArenaGuard worker_arena;
+    { Matrix m(4, 4); }
+    EXPECT_GE(TensorPool::ThreadStats().pool_misses, 1u);
+    TensorPool::ReleaseRetained();
+  });
+  worker.join();
+  EXPECT_EQ(TensorPool::ThreadStats().pool_misses, main_misses);
+}
+
+TEST_F(PoolTest, AggregatedCountersFlushOnOutermostExit) {
+  const TensorPool::ArenaCounters before =
+      TensorPool::AggregatedArenaCounters();
+  {
+    ArenaGuard arena;
+    { Matrix m(4, 4); }  // miss
+    { Matrix m(4, 4); }  // hit
+  }
+  const TensorPool::ArenaCounters after =
+      TensorPool::AggregatedArenaCounters();
+  EXPECT_GE(after.hits, before.hits + 1);
+  EXPECT_GE(after.misses, before.misses + 1);
+}
+
+TEST_F(PoolTest, MatrixCopyIsDeep) {
+  ArenaGuard arena;
+  Matrix a(2, 3);
+  a.Fill(1.0f);
+  Matrix b = a;
+  b.At(0, 0) = 9.0f;
+  EXPECT_EQ(a.At(0, 0), 1.0f);
+  a = b;
+  a.At(1, 2) = 5.0f;
+  EXPECT_EQ(b.At(1, 2), 1.0f);
+}
+
+TEST_F(PoolTest, UninitHasShapeAndIsWritable) {
+  ArenaGuard arena;
+  Matrix m = Matrix::Uninit(3, 4);
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 4);
+  m.Fill(2.0f);
+  EXPECT_EQ(m.Sum(), 24.0f);
+}
+
+TEST_F(PoolTest, StorageHandlesEmpty) {
+  Matrix empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.size(), 0u);
+  Matrix copy = empty;           // deep copy of nothing
+  Matrix moved = std::move(copy);
+  EXPECT_TRUE(moved.empty());
+  ArenaGuard arena;
+  Matrix zero_rows(0, 5);
+  EXPECT_EQ(zero_rows.size(), 0u);
+}
+
+}  // namespace
+}  // namespace m2g

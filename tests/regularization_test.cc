@@ -22,7 +22,7 @@ TEST(DropoutTest, SurvivorsScaledPreservingExpectation) {
   Tensor y = dropout.Apply(x);
   double sum = 0;
   int zeros = 0;
-  for (int i = 0; i < y.value().size(); ++i) {
+  for (size_t i = 0; i < y.value().size(); ++i) {
     const float v = y.value()[i];
     EXPECT_TRUE(v == 0.0f || std::fabs(v - 2.0f) < 1e-6f);
     sum += v;
@@ -89,7 +89,7 @@ TEST(LayerNormTest, Gradcheck) {
     Matrix analytic = p.grad();
     Matrix& w = p.node()->value;
     const float eps = 1e-2f;
-    for (int i = 0; i < w.size(); ++i) {
+    for (size_t i = 0; i < w.size(); ++i) {
       const float orig = w[i];
       w[i] = orig + eps;
       const float up = loss_fn().item();

@@ -101,7 +101,7 @@ TEST(GraphBuilderTest, OnlineGraphMatchesOffline) {
   graph::MultiLevelGraph ng = builder.Build(online);
   EXPECT_EQ(og.location.adjacency, ng.location.adjacency);
   EXPECT_EQ(og.aoi.adjacency, ng.aoi.adjacency);
-  for (int i = 0; i < og.location.node_continuous.size(); ++i) {
+  for (size_t i = 0; i < og.location.node_continuous.size(); ++i) {
     EXPECT_FLOAT_EQ(og.location.node_continuous[i],
                     ng.location.node_continuous[i]);
   }
