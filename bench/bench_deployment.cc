@@ -8,6 +8,7 @@
 #include "bench/bench_util.h"
 #include "core/trainer.h"
 #include "metrics/report.h"
+#include "obs/export.h"
 #include "serve/eta_service.h"
 #include "serve/order_sorting_service.h"
 #include "serve/replay.h"
@@ -68,5 +69,14 @@ int main() {
   std::printf("\nMinute-level ETA           (paper: RMSE 31.11, MAE 22.40)\n");
   std::printf("  measured: RMSE %.2f, MAE %.2f, acc@20 %.2f%%\n", all.rmse,
               all.mae, all.acc20);
+
+  // Telemetry from the whole run (training epochs + every served
+  // request), in both scrape formats.
+  for (const char* path :
+       {"bench_deployment_metrics.prom", "bench_deployment_metrics.json"}) {
+    if (obs::WriteMetricsFile(path)) {
+      std::printf("metrics snapshot written to %s\n", path);
+    }
+  }
   return 0;
 }

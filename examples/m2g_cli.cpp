@@ -7,7 +7,10 @@
 //   m2g_cli eval     --data splits.bin --weights weights.bin
 //   m2g_cli predict  --data splits.bin --weights weights.bin --sample 0
 //
-// `generate` without --out prints dataset statistics only.
+// `generate` without --out prints dataset statistics only. Every command
+// also accepts --log_level=debug|info|warning|error and
+// --metrics_out=FILE (telemetry snapshot; ".json" suffix selects the
+// JSON exporter, anything else the Prometheus text format).
 
 #include <algorithm>
 #include <cstdio>
@@ -15,6 +18,7 @@
 #include "common/flags.h"
 #include "core/trainer.h"
 #include "metrics/report.h"
+#include "obs/export.h"
 #include "synth/dataset_io.h"
 
 namespace {
@@ -33,7 +37,9 @@ int Usage() {
       "  train    --data FILE --out FILE [--epochs N] [--hidden N]\n"
       "           [--weight-decay X] [--lr X] [--threads N]\n"
       "  eval     --data FILE --weights FILE [--hidden N] [--beam N]\n"
-      "  predict  --data FILE --weights FILE --sample I [--hidden N]\n");
+      "  predict  --data FILE --weights FILE --sample I [--hidden N]\n"
+      "common:    [--log_level debug|info|warning|error]\n"
+      "           [--metrics_out FILE[.json]]\n");
   return 2;
 }
 
@@ -176,6 +182,11 @@ int main(int argc, char** argv) {
   auto parsed = FlagParser::Parse(argc, argv);
   if (!parsed.ok()) return Fail(parsed.status().ToString());
   const FlagParser& flags = parsed.value();
+  if (!flags.ApplyLogLevelFlag()) {
+    return Fail("unrecognized --log_level value");
+  }
+  // Queried up front so a typo'd command still reports the flag as used.
+  const std::string metrics_out = flags.GetString("metrics_out", "");
   int rc;
   if (flags.command() == "generate") {
     rc = Generate(flags);
@@ -187,6 +198,14 @@ int main(int argc, char** argv) {
     rc = Predict(flags);
   } else {
     return Usage();
+  }
+  if (!metrics_out.empty()) {
+    if (m2g::obs::WriteMetricsFile(metrics_out)) {
+      std::printf("metrics written to %s\n", metrics_out.c_str());
+    } else {
+      std::fprintf(stderr, "warning: could not write metrics to %s\n",
+                   metrics_out.c_str());
+    }
   }
   for (const std::string& unused : flags.UnqueriedFlags()) {
     std::fprintf(stderr, "warning: unknown flag --%s ignored\n",

@@ -2,6 +2,8 @@
 
 #include <cstdlib>
 
+#include "common/logging.h"
+
 namespace m2g {
 
 Result<FlagParser> FlagParser::Parse(int argc, const char* const* argv) {
@@ -64,6 +66,16 @@ bool FlagParser::GetBool(const std::string& name, bool default_value) const {
   auto it = flags_.find(name);
   if (it == flags_.end()) return default_value;
   return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+bool FlagParser::ApplyLogLevelFlag() const {
+  std::string name = GetString("log_level", "");
+  if (name.empty()) name = GetString("log-level", "");
+  if (name.empty()) return true;
+  LogLevel level;
+  if (!ParseLogLevel(name, &level)) return false;
+  SetLogLevel(level);
+  return true;
 }
 
 std::vector<std::string> FlagParser::UnqueriedFlags() const {

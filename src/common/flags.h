@@ -32,6 +32,11 @@ class FlagParser {
   /// Names that were passed but never queried — typo detection.
   std::vector<std::string> UnqueriedFlags() const;
 
+  /// Applies --log_level=debug|info|warning|error (--log-level also
+  /// accepted) via SetLogLevel. Returns false when the flag is present
+  /// but carries an unrecognized value; absent means true (no change).
+  bool ApplyLogLevelFlag() const;
+
  private:
   std::string command_;
   std::map<std::string, std::string> flags_;

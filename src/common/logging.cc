@@ -7,6 +7,7 @@ namespace m2g {
 namespace {
 
 std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
+std::atomic<LogSink*> g_sink{nullptr};
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -32,6 +33,27 @@ LogLevel GetLogLevel() {
   return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
 }
 
+bool ParseLogLevel(const std::string& name, LogLevel* level) {
+  if (name == "debug") {
+    *level = LogLevel::kDebug;
+  } else if (name == "info") {
+    *level = LogLevel::kInfo;
+  } else if (name == "warning" || name == "warn") {
+    *level = LogLevel::kWarning;
+  } else if (name == "error") {
+    *level = LogLevel::kError;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+void SetLogSink(LogSink* sink) {
+  g_sink.store(sink, std::memory_order_release);
+}
+
+LogSink* GetLogSink() { return g_sink.load(std::memory_order_acquire); }
+
 namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
@@ -50,6 +72,10 @@ LogMessage::~LogMessage() {
     return;
   }
   std::string line = stream_.str();
+  if (LogSink* sink = g_sink.load(std::memory_order_acquire)) {
+    sink->Write(level_, line);
+    return;
+  }
   line.push_back('\n');
   std::fwrite(line.data(), 1, line.size(), stderr);
 }

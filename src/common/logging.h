@@ -3,6 +3,7 @@
 
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace m2g {
 
@@ -11,6 +12,27 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 /// Process-wide minimum level; messages below it are dropped.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+/// Parses "debug" / "info" / "warning" (or "warn") / "error"
+/// (case-sensitive). Returns false and leaves *level untouched on an
+/// unrecognized name.
+bool ParseLogLevel(const std::string& name, LogLevel* level);
+
+/// Destination for formatted log lines. `line` carries the full
+/// "[LEVEL file:line] message" text without a trailing newline and is
+/// only valid for the duration of the call. Write may be called from
+/// any thread; implementations must be thread-safe.
+class LogSink {
+ public:
+  virtual ~LogSink() = default;
+  virtual void Write(LogLevel level, std::string_view line) = 0;
+};
+
+/// Redirects log output to `sink` (nullptr restores the default stderr
+/// behaviour). The sink must outlive all logging while installed —
+/// install/uninstall around test bodies, not mid-flight.
+void SetLogSink(LogSink* sink);
+LogSink* GetLogSink();
 
 namespace internal {
 

@@ -5,6 +5,7 @@
 #include <cstdlib>
 
 #include "common/check.h"
+#include "obs/metrics.h"
 
 namespace m2g {
 namespace {
@@ -12,6 +13,21 @@ namespace {
 thread_local bool t_in_pool_worker = false;
 
 std::atomic<int> g_default_threads{0};
+
+/// Shared across every pool instance: outstanding shard tokens queued
+/// behind any pool, and shards executed process-wide. The gauge is
+/// updated under the pool mutex that already serializes queue changes.
+obs::Gauge& QueueDepthGauge() {
+  static obs::Gauge& gauge =
+      obs::MetricsRegistry::Global().gauge("threadpool.queue_depth");
+  return gauge;
+}
+
+obs::Counter& TasksExecutedCounter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::Global().counter("threadpool.tasks_executed");
+  return counter;
+}
 
 }  // namespace
 
@@ -31,6 +47,7 @@ struct ThreadPool::Job {
   bool RunOne() {
     const int s = next.fetch_add(1, std::memory_order_relaxed);
     if (s >= shards) return false;
+    TasksExecutedCounter().Increment();
     fn(s, n * s / shards, n * (s + 1) / shards);
     {
       std::lock_guard<std::mutex> lock(m);
@@ -43,6 +60,10 @@ struct ThreadPool::Job {
 
 ThreadPool::ThreadPool(int num_threads)
     : num_threads_(std::max(1, num_threads)) {
+  // Touch the shared metrics up front so they exist in exports even for
+  // pools that never enqueue (serial pools, inline nested sections).
+  QueueDepthGauge();
+  TasksExecutedCounter();
   workers_.reserve(num_threads_ - 1);
   for (int i = 0; i < num_threads_ - 1; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -68,6 +89,8 @@ void ThreadPool::WorkerLoop() {
       if (queue_.empty()) return;  // stop_ set and nothing left to run
       job = std::move(queue_.front());
       queue_.pop_front();
+      // Delta updates so concurrent pools aggregate into one depth.
+      QueueDepthGauge().Add(-1.0);
     }
     while (job->RunOne()) {
     }
@@ -95,6 +118,7 @@ void ThreadPool::ParallelForShards(
     std::lock_guard<std::mutex> lock(mu_);
     // The caller claims shards too, so shards - 1 tokens suffice.
     for (int s = 1; s < shards; ++s) queue_.push_back(job);
+    QueueDepthGauge().Add(static_cast<double>(shards - 1));
   }
   cv_.notify_all();
   while (job->RunOne()) {

@@ -4,6 +4,7 @@
 
 #include "graph/features.h"
 #include "nn/serialize.h"
+#include "obs/trace.h"
 
 namespace m2g::core {
 namespace {
@@ -167,19 +168,47 @@ Tensor M2g4Rtp::ComputeLoss(const synth::Sample& sample,
 }
 
 RtpPrediction M2g4Rtp::Predict(const synth::Sample& sample) const {
-  const graph::MultiLevelGraph g =
-      BuildMultiLevelGraph(sample, config_.graph);
-  Tensor u = global_embed_->Embed(sample);
-  EncodedLevel loc_enc = location_encoder_->Encode(g.location, u);
+  // Per-stage spans cover the Figure 7 serving pipeline after feature
+  // extraction. Instrumentation is observe-only: the numeric operations
+  // and their order are exactly the uninstrumented path (the AOI encode
+  // is hoisted into the encode scope, but it reads and writes nothing
+  // the location encode touches). Multi-level requests record two spans
+  // each for route_decode and eta_head — one per level.
+  static obs::Histogram& graph_hist =
+      obs::StageHistogram("serve.stage.graph_build.ms");
+  static obs::Histogram& encode_hist =
+      obs::StageHistogram("serve.stage.encode.ms");
+  static obs::Histogram& decode_hist =
+      obs::StageHistogram("serve.stage.route_decode.ms");
+  static obs::Histogram& eta_hist =
+      obs::StageHistogram("serve.stage.eta_head.ms");
+
+  graph::MultiLevelGraph g;
+  {
+    obs::TraceSpan span("serve.stage.graph_build.ms", &graph_hist);
+    g = BuildMultiLevelGraph(sample, config_.graph);
+  }
+  Tensor u;
+  EncodedLevel loc_enc;
+  EncodedLevel aoi_enc;
+  {
+    obs::TraceSpan span("serve.stage.encode.ms", &encode_hist);
+    u = global_embed_->Embed(sample);
+    loc_enc = location_encoder_->Encode(g.location, u);
+    if (config_.use_aoi_level) aoi_enc = aoi_encoder_->Encode(g.aoi, u);
+  }
   const Tensor& x_l = loc_enc.nodes;
 
   RtpPrediction pred;
   std::vector<Tensor> aoi_times;
   if (config_.use_aoi_level) {
-    EncodedLevel aoi_enc = aoi_encoder_->Encode(g.aoi, u);
     const Tensor& x_a = aoi_enc.nodes;
-    pred.aoi_route =
-        aoi_route_decoder_->DecodeBeam(x_a, u, config_.beam_width);
+    {
+      obs::TraceSpan span("serve.stage.route_decode.ms", &decode_hist);
+      pred.aoi_route =
+          aoi_route_decoder_->DecodeBeam(x_a, u, config_.beam_width);
+    }
+    obs::TraceSpan span("serve.stage.eta_head.ms", &eta_hist);
     aoi_times =
         aoi_sort_lstm_->Forward(x_a, pred.aoi_route, aoi_enc.edges);
     pred.aoi_times_min.resize(aoi_times.size());
@@ -189,10 +218,15 @@ RtpPrediction M2g4Rtp::Predict(const synth::Sample& sample) const {
                    config_.time_scale_minutes);
     }
   }
-  Tensor x_in = BuildLocationInputs(x_l, sample.loc_to_aoi, pred.aoi_route,
-                                    aoi_times);
-  pred.location_route =
-      location_route_decoder_->DecodeBeam(x_in, u, config_.beam_width);
+  Tensor x_in;
+  {
+    obs::TraceSpan span("serve.stage.route_decode.ms", &decode_hist);
+    x_in = BuildLocationInputs(x_l, sample.loc_to_aoi, pred.aoi_route,
+                               aoi_times);
+    pred.location_route =
+        location_route_decoder_->DecodeBeam(x_in, u, config_.beam_width);
+  }
+  obs::TraceSpan span("serve.stage.eta_head.ms", &eta_hist);
   std::vector<Tensor> loc_times = location_sort_lstm_->Forward(
       x_in, pred.location_route, loc_enc.edges);
   pred.location_times_min.resize(loc_times.size());

@@ -5,6 +5,8 @@
 #include <numeric>
 
 #include "common/logging.h"
+#include "common/stopwatch.h"
+#include "obs/trace.h"
 #include "tensor/grad_buffer.h"
 #include "tensor/grad_mode.h"
 #include "tensor/pool.h"
@@ -27,6 +29,15 @@ uint64_t MixSeed(uint64_t seed, uint64_t salt, uint64_t index) {
 }
 
 constexpr uint64_t kEvalSalt = 0xe7a1;
+
+/// Training telemetry. All writes are observe-only (gauge stores and
+/// span clocks) — the numeric path, RNG streams and iteration order are
+/// untouched, so fixed-seed training stays bitwise identical.
+obs::Histogram& ShardStepHistogram() {
+  static obs::Histogram& hist =
+      obs::StageHistogram("train.shard_step.ms");
+  return hist;
+}
 
 }  // namespace
 
@@ -72,38 +83,50 @@ void Trainer::RestoreParams() {
 
 float Trainer::Evaluate(const synth::Dataset& dataset) const {
   if (dataset.samples.empty()) return 0.0f;
+  static obs::Histogram& eval_hist = obs::StageHistogram("train.eval.ms");
+  obs::TraceSpan eval_span("train.eval.ms", &eval_hist);
+  Stopwatch watch;
   // Evaluation never backpropagates: no-grad forward is bitwise-identical
   // and skips all graph construction.
   NoGradGuard no_grad;
   const int threads = ResolveThreads(config_.threads);
+  double total = 0;
   if (threads == 1) {
-    double total = 0;
     for (const synth::Sample& s : dataset.samples) {
       // Per-sample arena: the forward graph's buffers recycle across
       // samples instead of churning the heap.
       ArenaGuard arena;
       total += model_->ComputeLoss(s).item();
     }
-    return static_cast<float>(total / dataset.samples.size());
+  } else {
+    const int64_t n = static_cast<int64_t>(dataset.samples.size());
+    std::vector<double> shard_totals(threads, 0.0);
+    Pool(threads)->ParallelForShards(
+        n, threads, [&](int shard, int64_t begin, int64_t end) {
+          NoGradGuard worker_no_grad;  // grad mode is thread-local
+          double shard_total = 0;
+          for (int64_t i = begin; i < end; ++i) {
+            ArenaGuard arena;  // pool is thread-local, scope per-sample
+            Rng grng(MixSeed(config_.shuffle_seed, kEvalSalt,
+                             static_cast<uint64_t>(i)));
+            shard_total +=
+                model_->ComputeLoss(dataset.samples[i], nullptr, &grng)
+                    .item();
+          }
+          shard_totals[shard] = shard_total;
+        });
+    for (double t : shard_totals) total += t;
   }
-  const int64_t n = static_cast<int64_t>(dataset.samples.size());
-  std::vector<double> shard_totals(threads, 0.0);
-  Pool(threads)->ParallelForShards(
-      n, threads, [&](int shard, int64_t begin, int64_t end) {
-        NoGradGuard worker_no_grad;  // grad mode is thread-local
-        double total = 0;
-        for (int64_t i = begin; i < end; ++i) {
-          ArenaGuard arena;  // pool is thread-local, scope is per-sample
-          Rng grng(MixSeed(config_.shuffle_seed, kEvalSalt,
-                           static_cast<uint64_t>(i)));
-          total += model_->ComputeLoss(dataset.samples[i], nullptr, &grng)
-                       .item();
-        }
-        shard_totals[shard] = total;
-      });
-  double total = 0;
-  for (double t : shard_totals) total += t;
-  return static_cast<float>(total / dataset.samples.size());
+  const float mean =
+      static_cast<float>(total / dataset.samples.size());
+  obs::MetricsRegistry::Global().gauge("train.eval_loss").Set(mean);
+  const double seconds = watch.ElapsedSeconds();
+  if (seconds > 0) {
+    obs::MetricsRegistry::Global()
+        .gauge("train.eval_samples_per_sec")
+        .Set(dataset.samples.size() / seconds);
+  }
+  return mean;
 }
 
 void Trainer::RunBatchParallel(const synth::Dataset& train,
@@ -115,6 +138,8 @@ void Trainer::RunBatchParallel(const synth::Dataset& train,
   std::vector<ShardAccum> accums(threads);
   Pool(threads)->ParallelForShards(
       count, threads, [&](int shard, int64_t begin, int64_t end) {
+        obs::TraceSpan step_span("train.shard_step.ms",
+                                 &ShardStepHistogram());
         ShardAccum& acc = accums[shard];
         internal::GradBufferScope scope(&acc.grads);
         for (int64_t k = begin; k < end; ++k) {
@@ -175,7 +200,12 @@ std::vector<EpochStats> Trainer::Fit(const synth::Dataset& train,
   std::vector<int> order(train.samples.size());
   std::iota(order.begin(), order.end(), 0);
 
+  static obs::Histogram& epoch_hist = obs::StageHistogram("train.epoch.ms");
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    obs::TraceSpan epoch_span("train.epoch.ms", &epoch_hist);
+    Stopwatch epoch_watch;
     // Anneal the AOI-guidance scheduled sampling: teacher-forced guides
     // early, inference-aligned guides by the final epoch.
     model_->set_guidance_sampling_prob(
@@ -196,7 +226,10 @@ std::vector<EpochStats> Trainer::Fit(const synth::Dataset& train,
           std::min(limit, batch_begin + config_.batch_size);
       if (threads == 1) {
         // The exact pre-refactor serial path: per-sample graphs
-        // accumulating straight into the shared parameter grads.
+        // accumulating straight into the shared parameter grads. The
+        // whole batch is one "shard" for the step histogram.
+        obs::TraceSpan step_span("train.shard_step.ms",
+                                 &ShardStepHistogram());
         for (int idx = batch_begin; idx < batch_end; ++idx) {
           ArenaGuard arena;  // per-sample graph buffers recycle
           LossBreakdown bd;
@@ -227,8 +260,18 @@ std::vector<EpochStats> Trainer::Fit(const synth::Dataset& train,
     mean.aoi_time /= limit;
     mean.location_time /= limit;
     stats.mean_breakdown = mean;
+    const double train_seconds = epoch_watch.ElapsedSeconds();
     stats.val_loss = Evaluate(val);
     history.push_back(stats);
+    // Per-epoch telemetry: last-epoch gauges plus training throughput
+    // over the samples this epoch actually visited.
+    registry.gauge("train.epoch").Set(epoch);
+    registry.gauge("train.epoch_loss").Set(stats.train_loss);
+    registry.gauge("train.val_loss").Set(stats.val_loss);
+    if (train_seconds > 0) {
+      registry.gauge("train.samples_per_sec")
+          .Set(limit / train_seconds);
+    }
     if (config_.verbose) {
       M2G_LOG(Info) << "epoch " << epoch << " train=" << stats.train_loss
                     << " val=" << stats.val_loss

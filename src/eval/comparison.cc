@@ -8,6 +8,7 @@
 #include "common/stopwatch.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
 
 namespace m2g::eval {
 namespace {
@@ -28,16 +29,18 @@ MethodResult RunOnce(const synth::DatasetSplits& splits,
   mr.fit_seconds = fit_watch.ElapsedSeconds();
 
   metrics::BucketedEvaluator evaluator;
-  Stopwatch predict_watch;
+  // Per-sample Predict timing through the shared latency histogram (the
+  // same helper eval/latency.cc reads), replacing the old whole-loop
+  // stopwatch — metric bookkeeping no longer pollutes the mean.
+  obs::Histogram predict_hist(obs::DefaultLatencyBucketsMs());
   for (const synth::Sample& s : splits.test.samples) {
+    Stopwatch watch;
     core::RtpPrediction pred = model->Predict(s);
+    predict_hist.Record(watch.ElapsedMillis());
     evaluator.AddSample(pred.location_route, s.route_label,
                         pred.location_times_min, s.time_label_min);
   }
-  mr.predict_ms_mean =
-      splits.test.samples.empty()
-          ? 0
-          : predict_watch.ElapsedMillis() / splits.test.samples.size();
+  mr.predict_ms_mean = predict_hist.Snapshot().mean();
   for (int b = 0; b < metrics::kNumBuckets; ++b) {
     mr.buckets[b] = evaluator.Get(static_cast<metrics::Bucket>(b));
   }

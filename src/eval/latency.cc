@@ -1,10 +1,10 @@
 #include "eval/latency.h"
 
-#include <algorithm>
 #include <cstdio>
 #include <optional>
 
 #include "common/stopwatch.h"
+#include "obs/metrics.h"
 #include "tensor/grad_mode.h"
 
 namespace m2g::eval {
@@ -34,23 +34,23 @@ LatencyResult MeasureLatency(const RtpModel& model,
 
   std::optional<NoGradGuard> guard;
   if (no_grad) guard.emplace();
-  std::vector<double> times;
-  times.reserve(samples.size());
-  double total = 0;
+  // Per-sample timings go through the same fixed-bucket histogram the
+  // serving layer exports, so offline Table V and a live scrape agree
+  // on bucketing and quantile interpolation.
+  obs::Histogram hist(obs::DefaultLatencyBucketsMs());
   for (const synth::Sample& s : samples) {
     Stopwatch watch;
     core::RtpPrediction pred = model.Predict(s);
     const double ms = watch.ElapsedMillis();
     // Defeat dead-code elimination.
     if (pred.location_route.empty()) std::fprintf(stderr, "!");
-    times.push_back(ms);
-    total += ms;
+    hist.Record(ms);
   }
-  std::sort(times.begin(), times.end());
-  result.mean_ms = total / times.size();
-  result.p50_ms = times[times.size() / 2];
-  result.p99_ms = times[std::min(times.size() - 1,
-                                 times.size() * 99 / 100)];
+  const obs::HistogramSnapshot snap = hist.Snapshot();
+  result.mean_ms = snap.mean();
+  result.p50_ms = snap.Quantile(0.50);
+  result.p95_ms = snap.Quantile(0.95);
+  result.p99_ms = snap.Quantile(0.99);
   return result;
 }
 
@@ -62,14 +62,15 @@ std::vector<LatencyResult> MeasureGradModeComparison(
 
 void PrintScalabilityTable(const std::vector<LatencyResult>& rows) {
   std::printf("Table V: Scalability Analysis\n");
-  std::printf("%-18s %-38s %10s %10s %10s\n", "Method",
+  std::printf("%-18s %-38s %10s %10s %10s %10s\n", "Method",
               "Inference Time Complexity", "mean (ms)", "p50 (ms)",
-              "p99 (ms)");
-  for (int i = 0; i < 90; ++i) std::printf("-");
+              "p95 (ms)", "p99 (ms)");
+  for (int i = 0; i < 101; ++i) std::printf("-");
   std::printf("\n");
   for (const LatencyResult& r : rows) {
-    std::printf("%-18s %-38s %10.3f %10.3f %10.3f\n", r.method.c_str(),
-                r.complexity.c_str(), r.mean_ms, r.p50_ms, r.p99_ms);
+    std::printf("%-18s %-38s %10.3f %10.3f %10.3f %10.3f\n",
+                r.method.c_str(), r.complexity.c_str(), r.mean_ms,
+                r.p50_ms, r.p95_ms, r.p99_ms);
   }
 }
 

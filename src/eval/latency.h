@@ -6,12 +6,15 @@
 namespace m2g::eval {
 
 /// Table V row: measured single-request inference latency plus the
-/// analytical complexity from the paper.
+/// analytical complexity from the paper. Quantiles are read from the
+/// shared obs::Histogram latency buckets (interpolated, not exact order
+/// statistics), so offline rows and the live serving exports agree.
 struct LatencyResult {
   std::string method;
   std::string complexity;  // e.g. "O(NF^2 + EF^2 + N^2F^2 + A^2F^2)"
   double mean_ms = 0;
   double p50_ms = 0;
+  double p95_ms = 0;
   double p99_ms = 0;
 };
 

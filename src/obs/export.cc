@@ -1,0 +1,139 @@
+#include "obs/export.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace m2g::obs {
+namespace {
+
+/// Shortest-faithful double formatting: integers print bare ("42"),
+/// everything else up to 9 significant digits — deterministic across
+/// platforms for the value ranges metrics produce.
+std::string Num(double v) {
+  char buf[64];
+  if (v == static_cast<double>(static_cast<long long>(v)) &&
+      v > -1e15 && v < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+  }
+  return buf;
+}
+
+std::string Num(uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+/// `serve.stage.encode.ms` -> `m2g_serve_stage_encode_ms`.
+std::string PromName(const std::string& name) {
+  std::string out = "m2g_";
+  for (char c : name) {
+    out.push_back(std::isalnum(static_cast<unsigned char>(c)) ? c : '_');
+  }
+  return out;
+}
+
+void AppendJsonKey(std::string* out, const std::string& key) {
+  out->push_back('"');
+  *out += key;  // registry names never need escaping
+  *out += "\":";
+}
+
+}  // namespace
+
+std::string ExportPrometheus(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const auto& [name, value] : snapshot.counters) {
+    std::string prom = PromName(name);
+    if (prom.size() < 6 || prom.compare(prom.size() - 6, 6, "_total") != 0) {
+      prom += "_total";
+    }
+    out += "# TYPE " + prom + " counter\n";
+    out += prom + " " + Num(value) + "\n";
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string prom = PromName(name);
+    out += "# TYPE " + prom + " gauge\n";
+    out += prom + " " + Num(value) + "\n";
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    const std::string prom = PromName(name);
+    out += "# TYPE " + prom + " histogram\n";
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < h.bounds.size(); ++i) {
+      cumulative += h.counts[i];
+      out += prom + "_bucket{le=\"" + Num(h.bounds[i]) + "\"} " +
+             Num(cumulative) + "\n";
+    }
+    out += prom + "_bucket{le=\"+Inf\"} " + Num(h.count) + "\n";
+    out += prom + "_sum " + Num(h.sum) + "\n";
+    out += prom + "_count " + Num(h.count) + "\n";
+  }
+  return out;
+}
+
+std::string ExportJson(const MetricsSnapshot& snapshot) {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : snapshot.counters) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    AppendJsonKey(&out, name);
+    out += " " + Num(value);
+  }
+  out += "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : snapshot.gauges) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    AppendJsonKey(&out, name);
+    out += " " + Num(value);
+  }
+  out += "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : snapshot.histograms) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    AppendJsonKey(&out, name);
+    out += " {\"count\": " + Num(h.count) + ", \"sum\": " + Num(h.sum) +
+           ", \"min\": " + Num(h.min) + ", \"max\": " + Num(h.max) +
+           ", \"mean\": " + Num(h.mean()) +
+           ", \"p50\": " + Num(h.Quantile(0.50)) +
+           ", \"p95\": " + Num(h.Quantile(0.95)) +
+           ", \"p99\": " + Num(h.Quantile(0.99)) + ", \"buckets\": [";
+    for (size_t i = 0; i < h.counts.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += "{\"le\": ";
+      out += i < h.bounds.size() ? Num(h.bounds[i]) : "\"+Inf\"";
+      out += ", \"count\": " + Num(h.counts[i]) + "}";
+    }
+    out += "]}";
+  }
+  out += "\n  }\n}\n";
+  return out;
+}
+
+std::string ExportPrometheus() {
+  return ExportPrometheus(MetricsRegistry::Global().Snapshot());
+}
+
+std::string ExportJson() {
+  return ExportJson(MetricsRegistry::Global().Snapshot());
+}
+
+bool WriteMetricsFile(const std::string& path) {
+  const bool json =
+      path.size() >= 5 && path.compare(path.size() - 5, 5, ".json") == 0;
+  const std::string text = json ? ExportJson() : ExportPrometheus();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  const bool ok = std::fclose(f) == 0 && written == text.size();
+  return ok;
+}
+
+}  // namespace m2g::obs

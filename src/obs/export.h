@@ -1,0 +1,31 @@
+#ifndef M2G_OBS_EXPORT_H_
+#define M2G_OBS_EXPORT_H_
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace m2g::obs {
+
+/// Prometheus text exposition (# TYPE lines, `_total` counters,
+/// cumulative `_bucket{le=...}` histogram series plus `_sum`/`_count`).
+/// Registry names map to `m2g_` + name with '.' -> '_'.
+std::string ExportPrometheus(const MetricsSnapshot& snapshot);
+
+/// JSON snapshot: {"counters": {...}, "gauges": {...}, "histograms":
+/// {name: {count, sum, min, max, mean, p50, p95, p99, buckets: [...]}}}.
+/// Names keep their dotted registry form.
+std::string ExportJson(const MetricsSnapshot& snapshot);
+
+/// Convenience overloads over MetricsRegistry::Global().Snapshot().
+std::string ExportPrometheus();
+std::string ExportJson();
+
+/// Writes the global registry snapshot to `path`: JSON when the path
+/// ends in ".json", Prometheus text otherwise. Returns false on I/O
+/// failure.
+bool WriteMetricsFile(const std::string& path);
+
+}  // namespace m2g::obs
+
+#endif  // M2G_OBS_EXPORT_H_

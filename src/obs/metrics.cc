@@ -1,0 +1,234 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace m2g::obs {
+
+namespace internal {
+
+std::atomic<bool> g_obs_enabled{true};
+
+int ThreadSlot() {
+  static std::atomic<int> next{0};
+  thread_local const int slot = [] {
+    const int s = next.fetch_add(1, std::memory_order_relaxed);
+    return s < kMaxShards ? s : kMaxShards - 1;
+  }();
+  return slot;
+}
+
+namespace {
+
+/// Relaxed CAS accumulation — std::atomic<double>::fetch_add is C++20
+/// but not yet universal across the toolchains CI builds with.
+void AtomicAdd(std::atomic<double>* target, double delta) {
+  double cur = target->load(std::memory_order_relaxed);
+  while (!target->compare_exchange_weak(cur, cur + delta,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMin(std::atomic<double>* target, double value) {
+  double cur = target->load(std::memory_order_relaxed);
+  while (value < cur && !target->compare_exchange_weak(
+                            cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<double>* target, double value) {
+  double cur = target->load(std::memory_order_relaxed);
+  while (value > cur && !target->compare_exchange_weak(
+                            cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+}  // namespace internal
+
+void SetEnabled(bool enabled) {
+  internal::g_obs_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void Counter::IncrementImpl(uint64_t delta) {
+  cells_[internal::ThreadSlot()].v.fetch_add(delta,
+                                             std::memory_order_relaxed);
+}
+
+uint64_t Counter::Value() const {
+  uint64_t total = 0;
+  for (const Cell& cell : cells_) {
+    total += cell.v.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Gauge::Add(double delta) { internal::AtomicAdd(&value_, delta); }
+
+double HistogramSnapshot::Quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    const uint64_t in_bucket = counts[i];
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cumulative + in_bucket) >= target) {
+      // Bucket edges, clamped to the observed range so a sparse
+      // histogram never reports a quantile outside [min, max].
+      double lo = i == 0 ? min : std::max(min, bounds[i - 1]);
+      double hi = i < bounds.size() ? std::min(max, bounds[i]) : max;
+      if (hi < lo) hi = lo;
+      const double frac =
+          (target - static_cast<double>(cumulative)) / in_bucket;
+      return lo + std::clamp(frac, 0.0, 1.0) * (hi - lo);
+    }
+    cumulative += in_bucket;
+  }
+  return max;
+}
+
+/// One thread's slice of a histogram. All fields are relaxed atomics so
+/// concurrent Snapshot reads are race-free; only the owning thread (or
+/// the overflow-slot sharers) writes.
+struct Histogram::Shard {
+  explicit Shard(size_t num_buckets) : counts(num_buckets) {}
+
+  std::vector<std::atomic<uint64_t>> counts;
+  std::atomic<uint64_t> count{0};
+  std::atomic<double> sum{0.0};
+  std::atomic<double> min{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max{-std::numeric_limits<double>::infinity()};
+};
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)) {
+  assert(std::is_sorted(bounds_.begin(), bounds_.end()));
+}
+
+Histogram::~Histogram() {
+  for (std::atomic<Shard*>& slot : shards_) {
+    delete slot.load(std::memory_order_acquire);
+  }
+}
+
+Histogram::Shard& Histogram::ShardForThisThread() {
+  std::atomic<Shard*>& slot = shards_[internal::ThreadSlot()];
+  Shard* shard = slot.load(std::memory_order_acquire);
+  if (shard == nullptr) {
+    Shard* fresh = new Shard(bounds_.size() + 1);
+    if (slot.compare_exchange_strong(shard, fresh,
+                                     std::memory_order_acq_rel)) {
+      return *fresh;
+    }
+    delete fresh;  // another thread sharing this slot won the race
+  }
+  return *shard;
+}
+
+void Histogram::Record(double value) {
+  Shard& shard = ShardForThisThread();
+  const size_t bucket =
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin();
+  shard.counts[bucket].fetch_add(1, std::memory_order_relaxed);
+  shard.count.fetch_add(1, std::memory_order_relaxed);
+  internal::AtomicAdd(&shard.sum, value);
+  internal::AtomicMin(&shard.min, value);
+  internal::AtomicMax(&shard.max, value);
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.bounds = bounds_;
+  snap.counts.assign(bounds_.size() + 1, 0);
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+  for (const std::atomic<Shard*>& slot : shards_) {
+    const Shard* shard = slot.load(std::memory_order_acquire);
+    if (shard == nullptr) continue;
+    for (size_t i = 0; i < snap.counts.size(); ++i) {
+      snap.counts[i] += shard->counts[i].load(std::memory_order_relaxed);
+    }
+    snap.count += shard->count.load(std::memory_order_relaxed);
+    snap.sum += shard->sum.load(std::memory_order_relaxed);
+    min = std::min(min, shard->min.load(std::memory_order_relaxed));
+    max = std::max(max, shard->max.load(std::memory_order_relaxed));
+  }
+  snap.min = snap.count > 0 ? min : 0.0;
+  snap.max = snap.count > 0 ? max : 0.0;
+  return snap;
+}
+
+const std::vector<double>& DefaultLatencyBucketsMs() {
+  static const std::vector<double> buckets = {
+      0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,  0.25,
+      0.5,   1,      2.5,   5,    10,    25,   50,   100,
+      250,   500,    1000,  2500, 5000,  10000};
+  return buckets;
+}
+
+const HistogramSnapshot* MetricsSnapshot::FindHistogram(
+    const std::string& name) const {
+  for (const auto& [n, h] : histograms) {
+    if (n == name) return &h;
+  }
+  return nullptr;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Counter>& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Gauge>& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      const std::vector<double>& bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Histogram>& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>(bounds);
+  return *slot;
+}
+
+Histogram& MetricsRegistry::latency_histogram(const std::string& name) {
+  return histogram(name, DefaultLatencyBucketsMs());
+}
+
+void MetricsRegistry::AddCallbackGauge(const std::string& name,
+                                       std::function<double()> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  callback_gauges_[name] = std::move(fn);
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : counters_) {
+    snap.counters.emplace_back(name, c->Value());
+  }
+  // Live and callback gauges share one sorted namespace.
+  std::map<std::string, double> gauges;
+  for (const auto& [name, g] : gauges_) gauges[name] = g->Value();
+  for (const auto& [name, fn] : callback_gauges_) gauges[name] = fn();
+  snap.gauges.assign(gauges.begin(), gauges.end());
+  for (const auto& [name, h] : histograms_) {
+    snap.histograms.emplace_back(name, h->Snapshot());
+  }
+  return snap;
+}
+
+}  // namespace m2g::obs

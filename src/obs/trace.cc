@@ -1,0 +1,111 @@
+#include "obs/trace.h"
+
+#include <mutex>
+
+namespace m2g::obs {
+namespace {
+
+std::chrono::steady_clock::time_point ProcessStart() {
+  static const std::chrono::steady_clock::time_point start =
+      std::chrono::steady_clock::now();
+  return start;
+}
+
+double MsSinceProcessStart(std::chrono::steady_clock::time_point t) {
+  return std::chrono::duration<double, std::milli>(t - ProcessStart())
+      .count();
+}
+
+/// Fixed-capacity ring of completed spans. A mutex push is fine here:
+/// spans complete a handful of times per multi-millisecond request, and
+/// the overhead bench gates the total.
+struct TraceRing {
+  std::mutex mu;
+  std::vector<TraceEvent> events;
+  size_t capacity = 256;
+  size_t next = 0;
+  bool wrapped = false;
+
+  void Push(const TraceEvent& event) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (capacity == 0) return;
+    if (events.size() < capacity) {
+      events.push_back(event);
+      next = events.size() % capacity;
+      wrapped = events.size() == capacity && next == 0;
+      return;
+    }
+    events[next] = event;
+    next = (next + 1) % capacity;
+    wrapped = true;
+  }
+};
+
+TraceRing& Ring() {
+  static TraceRing* ring = new TraceRing();
+  return *ring;
+}
+
+}  // namespace
+
+void SetTraceRingCapacity(size_t capacity) {
+  TraceRing& ring = Ring();
+  std::lock_guard<std::mutex> lock(ring.mu);
+  ring.capacity = capacity;
+  ring.events.clear();
+  ring.events.reserve(capacity);
+  ring.next = 0;
+  ring.wrapped = false;
+}
+
+std::vector<TraceEvent> RecentTraces() {
+  TraceRing& ring = Ring();
+  std::lock_guard<std::mutex> lock(ring.mu);
+  std::vector<TraceEvent> out;
+  out.reserve(ring.events.size());
+  if (ring.wrapped) {
+    out.insert(out.end(), ring.events.begin() + ring.next,
+               ring.events.end());
+    out.insert(out.end(), ring.events.begin(),
+               ring.events.begin() + ring.next);
+  } else {
+    out = ring.events;
+  }
+  return out;
+}
+
+void ClearTraces() {
+  TraceRing& ring = Ring();
+  std::lock_guard<std::mutex> lock(ring.mu);
+  ring.events.clear();
+  ring.next = 0;
+  ring.wrapped = false;
+}
+
+void TraceSpan::Start(const char* stage, Histogram* hist) {
+  stage_ = stage;
+  hist_ = hist;
+  active_ = true;
+  // Latch the process-start origin before reading the span clock so the
+  // very first span's offset cannot come out negative.
+  ProcessStart();
+  start_ = std::chrono::steady_clock::now();
+}
+
+void TraceSpan::Finish() {
+  const auto end = std::chrono::steady_clock::now();
+  TraceEvent event;
+  event.stage = stage_;
+  event.start_ms = MsSinceProcessStart(start_);
+  event.duration_ms =
+      std::chrono::duration<double, std::milli>(end - start_).count();
+  event.thread_slot = internal::ThreadSlot();
+  if (hist_ != nullptr) hist_->Record(event.duration_ms);
+  Ring().Push(event);
+}
+
+Histogram& StageHistogram(const char* stage) {
+  return MetricsRegistry::Global().latency_histogram(stage);
+}
+
+}  // namespace m2g::obs

@@ -1,0 +1,78 @@
+#ifndef M2G_OBS_TRACE_H_
+#define M2G_OBS_TRACE_H_
+
+#include <chrono>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace m2g::obs {
+
+/// One completed span, as kept in the process-wide trace ring. `stage`
+/// points at the literal passed to TraceSpan (spans must be constructed
+/// with string literals / static storage).
+struct TraceEvent {
+  const char* stage = nullptr;
+  double start_ms = 0;     // steady-clock offset from process start
+  double duration_ms = 0;
+  int thread_slot = 0;
+};
+
+/// Resizes the ring of recent spans (default 256 events). 0 disables
+/// trace retention entirely; spans then only feed their histograms.
+void SetTraceRingCapacity(size_t capacity);
+
+/// The retained spans, oldest first. A snapshot — safe to call while
+/// spans complete concurrently.
+std::vector<TraceEvent> RecentTraces();
+
+/// Drops all retained spans (capacity unchanged).
+void ClearTraces();
+
+/// RAII stage timer: measures the enclosed scope and, on destruction,
+/// records the duration into `hist` (typically the registry's latency
+/// histogram for this stage name) and appends a TraceEvent to the ring.
+/// `stage` must have static storage duration.
+///
+/// Cost when obs is enabled: two steady_clock reads, one histogram
+/// record, one ring push. When disabled via SetEnabled(false) the
+/// constructor is a single relaxed load; under M2G_OBS_DISABLED the
+/// whole class compiles to nothing.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* stage, Histogram* hist = nullptr) {
+#ifndef M2G_OBS_DISABLED
+    if (Enabled()) Start(stage, hist);
+#else
+    (void)stage;
+    (void)hist;
+#endif
+  }
+
+  ~TraceSpan() {
+#ifndef M2G_OBS_DISABLED
+    if (active_) Finish();
+#endif
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  void Start(const char* stage, Histogram* hist);
+  void Finish();
+
+  const char* stage_ = nullptr;
+  Histogram* hist_ = nullptr;
+  bool active_ = false;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+/// The registry latency histogram spans for `stage` record into; call
+/// sites cache the result in a function-local static so the registry
+/// lock is taken once per stage name per process.
+Histogram& StageHistogram(const char* stage);
+
+}  // namespace m2g::obs
+
+#endif  // M2G_OBS_TRACE_H_

@@ -1,15 +1,24 @@
 #include "serve/eta_service.h"
 
 #include "common/string_util.h"
+#include "obs/trace.h"
 
 namespace m2g::serve {
 
 std::vector<EtaService::OrderEta> EtaService::Estimate(
     const RtpRequest& request) const {
+  static obs::Counter& requests_counter =
+      obs::MetricsRegistry::Global().counter("serve.eta.requests");
+  static obs::Histogram& estimate_hist =
+      obs::StageHistogram("serve.eta.estimate.ms");
+
   // Request-scoped arena (nests with the one inside Handle): the
   // response's sample/prediction buffers are released back to the pool
   // before the next estimate on this thread.
   ArenaGuard arena;
+  obs::TraceSpan span("serve.eta.estimate.ms", &estimate_hist);
+  requests_served_.fetch_add(1, std::memory_order_relaxed);
+  requests_counter.Increment();
   RtpService::Response response = rtp_->Handle(request);
   const auto& route = response.prediction.location_route;
   std::vector<int> stops_before(route.size(), 0);

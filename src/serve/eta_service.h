@@ -10,7 +10,8 @@ namespace m2g::serve {
 /// customers get ready (package pick-up is face-to-face).
 ///
 /// Thread-safe: estimates go through RtpService::Handle (no-grad,
-/// concurrent) and the service itself holds no mutable state.
+/// concurrent) and the only mutable service state is the atomic request
+/// counter.
 class EtaService {
  public:
   struct Config {
@@ -38,9 +39,16 @@ class EtaService {
   Result<OrderEta> EstimateOrder(const RtpRequest& request,
                                  int order_id) const;
 
+  /// Number of Estimate calls served (monitoring counter; EstimateOrder
+  /// counts once through its inner Estimate).
+  int64_t requests_served() const {
+    return requests_served_.load(std::memory_order_relaxed);
+  }
+
  private:
   const RtpService* rtp_;
   Config config_;
+  mutable std::atomic<int64_t> requests_served_{0};
 };
 
 }  // namespace m2g::serve

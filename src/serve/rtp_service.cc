@@ -1,20 +1,33 @@
 #include "serve/rtp_service.h"
 
+#include "obs/trace.h"
 #include "tensor/grad_mode.h"
 
 namespace m2g::serve {
 
 RtpService::Response RtpService::Handle(const RtpRequest& request) const {
+  static obs::Counter& requests_counter =
+      obs::MetricsRegistry::Global().counter("serve.rtp.requests");
+  static obs::Histogram& request_hist =
+      obs::StageHistogram("serve.request.ms");
+  static obs::Histogram& extract_hist =
+      obs::StageHistogram("serve.stage.feature_extract.ms");
+
   // Serving never backpropagates: skip all graph construction. The
   // request-scoped arena recycles every forward-pass buffer through the
   // thread-local pool — once a serving thread is warm, the steady-state
   // hot path performs zero heap allocations for tensor storage.
   NoGradGuard no_grad;
   ArenaGuard arena;
+  obs::TraceSpan request_span("serve.request.ms", &request_hist);
   Response response;
-  response.sample = extractor_.BuildSample(request);
+  {
+    obs::TraceSpan span("serve.stage.feature_extract.ms", &extract_hist);
+    response.sample = extractor_.BuildSample(request);
+  }
   response.prediction = model_->Predict(response.sample);
   requests_served_.fetch_add(1, std::memory_order_relaxed);
+  requests_counter.Increment();
   return response;
 }
 

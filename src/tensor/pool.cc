@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "obs/metrics.h"
 
 namespace m2g {
 namespace {
@@ -55,6 +56,26 @@ PoolTls& Tls() {
 std::atomic<bool> g_pool_enabled{true};
 std::atomic<uint64_t> g_arena_hits{0};
 std::atomic<uint64_t> g_arena_misses{0};
+
+/// Folds the arena hit/miss totals into the telemetry registry as
+/// pull-time gauges: the values live in the atomics above (written on
+/// outermost arena exit), so exports see them with zero extra cost on
+/// the allocation hot path.
+struct PoolMetricsRegistrar {
+  PoolMetricsRegistrar() {
+    obs::MetricsRegistry::Global().AddCallbackGauge(
+        "pool.arena_hits", [] {
+          return static_cast<double>(
+              g_arena_hits.load(std::memory_order_relaxed));
+        });
+    obs::MetricsRegistry::Global().AddCallbackGauge(
+        "pool.arena_misses", [] {
+          return static_cast<double>(
+              g_arena_misses.load(std::memory_order_relaxed));
+        });
+  }
+};
+const PoolMetricsRegistrar g_pool_metrics_registrar;
 
 bool RecyclingActive(const PoolTls& tls) {
   return tls.arena_depth > 0 &&

@@ -2,13 +2,61 @@
 
 #include <cmath>
 #include <set>
+#include <string>
+#include <vector>
 
+#include "common/logging.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/string_util.h"
 
 namespace m2g {
 namespace {
+
+TEST(LoggingTest, ParseLogLevelAcceptsKnownNames) {
+  LogLevel level = LogLevel::kInfo;
+  EXPECT_TRUE(ParseLogLevel("debug", &level));
+  EXPECT_EQ(level, LogLevel::kDebug);
+  EXPECT_TRUE(ParseLogLevel("warning", &level));
+  EXPECT_EQ(level, LogLevel::kWarning);
+  EXPECT_TRUE(ParseLogLevel("warn", &level));
+  EXPECT_EQ(level, LogLevel::kWarning);
+  EXPECT_TRUE(ParseLogLevel("error", &level));
+  EXPECT_EQ(level, LogLevel::kError);
+  EXPECT_FALSE(ParseLogLevel("verbose", &level));
+  EXPECT_EQ(level, LogLevel::kError);  // untouched on failure
+}
+
+/// Captures every routed line for assertions.
+class CaptureSink : public LogSink {
+ public:
+  void Write(LogLevel level, std::string_view line) override {
+    levels.push_back(level);
+    lines.emplace_back(line);
+  }
+
+  std::vector<LogLevel> levels;
+  std::vector<std::string> lines;
+};
+
+TEST(LoggingTest, SinkReceivesFormattedLinesAndHonorsLevel) {
+  CaptureSink sink;
+  SetLogSink(&sink);
+  const LogLevel prior = GetLogLevel();
+  SetLogLevel(LogLevel::kWarning);
+  M2G_LOG(Info) << "dropped below the level";
+  M2G_LOG(Warning) << "kept " << 42;
+  SetLogLevel(prior);
+  SetLogSink(nullptr);
+  EXPECT_EQ(GetLogSink(), nullptr);
+  ASSERT_EQ(sink.lines.size(), 1u);
+  EXPECT_EQ(sink.levels[0], LogLevel::kWarning);
+  // "[WARN common_test.cc:NN] kept 42" — no trailing newline.
+  EXPECT_NE(sink.lines[0].find("[WARN common_test.cc:"),
+            std::string::npos);
+  EXPECT_NE(sink.lines[0].find("kept 42"), std::string::npos);
+  EXPECT_EQ(sink.lines[0].back(), '2');
+}
 
 TEST(StatusTest, OkByDefault) {
   Status s;

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "common/flags.h"
+#include "common/logging.h"
 
 namespace m2g {
 namespace {
@@ -59,6 +60,29 @@ TEST(FlagParserTest, BareDashesRejected) {
   std::vector<const char*> argv = {"prog", "x", "--"};
   auto result = FlagParser::Parse(3, argv.data());
   EXPECT_FALSE(result.ok());
+}
+
+TEST(FlagParserTest, ApplyLogLevelFlagSetsProcessLevel) {
+  const LogLevel prior = GetLogLevel();
+  FlagParser p = MustParse({"x", "--log_level=error"});
+  EXPECT_TRUE(p.ApplyLogLevelFlag());
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  // Dashed alias, marked queried so UnqueriedFlags stays quiet.
+  FlagParser dashed = MustParse({"x", "--log-level=debug"});
+  EXPECT_TRUE(dashed.ApplyLogLevelFlag());
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  EXPECT_TRUE(dashed.UnqueriedFlags().empty());
+  SetLogLevel(prior);
+}
+
+TEST(FlagParserTest, ApplyLogLevelFlagRejectsUnknownAndAllowsAbsent) {
+  const LogLevel prior = GetLogLevel();
+  FlagParser bad = MustParse({"x", "--log_level=shout"});
+  EXPECT_FALSE(bad.ApplyLogLevelFlag());
+  EXPECT_EQ(GetLogLevel(), prior);  // level unchanged on bad input
+  FlagParser absent = MustParse({"x"});
+  EXPECT_TRUE(absent.ApplyLogLevelFlag());
+  EXPECT_EQ(GetLogLevel(), prior);
 }
 
 TEST(FlagParserTest, NegativeNumberTreatedAsFlagValueViaEquals) {

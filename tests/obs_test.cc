@@ -1,0 +1,426 @@
+// Telemetry layer: counters, gauges, histogram bucket math, quantile
+// interpolation, cross-thread merge exactness, the trace ring and the
+// two exporters. The concurrent tests double as the TSan surface for
+// the lock-free recording paths.
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace m2g::obs {
+namespace {
+
+// Counter increments and trace spans compile to nothing under
+// -DM2G_OBS_DISABLED=ON; the tests that exercise those event paths
+// skip themselves in that configuration (histograms, gauges, registry
+// and exporters stay fully live and tested).
+#ifdef M2G_OBS_DISABLED
+#define M2G_SKIP_IF_OBS_DISABLED() \
+  GTEST_SKIP() << "event recording compiled out (M2G_OBS_DISABLED)"
+#else
+#define M2G_SKIP_IF_OBS_DISABLED() (void)0
+#endif
+
+TEST(CounterTest, IncrementAndValue) {
+  M2G_SKIP_IF_OBS_DISABLED();
+  Counter c;
+  EXPECT_EQ(c.Value(), 0u);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.Value(), 42u);
+}
+
+TEST(CounterTest, ConcurrentIncrementsAreExact) {
+  M2G_SKIP_IF_OBS_DISABLED();
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.Increment();
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(c.Value(), static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge g;
+  EXPECT_EQ(g.Value(), 0.0);
+  g.Set(2.5);
+  EXPECT_EQ(g.Value(), 2.5);
+  g.Add(1.5);
+  EXPECT_EQ(g.Value(), 4.0);
+  g.Add(-4.0);
+  EXPECT_EQ(g.Value(), 0.0);
+}
+
+TEST(GaugeTest, ConcurrentAddSumsExactly) {
+  Gauge g;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 2000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&g] {
+      // Integer-valued deltas: exact in double for any add order.
+      for (int i = 0; i < kPerThread; ++i) g.Add(1.0);
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(g.Value(), static_cast<double>(kThreads) * kPerThread);
+}
+
+TEST(HistogramTest, BucketBoundariesUseLeSemantics) {
+  // Bucket i counts values <= bounds[i] (Prometheus `le`), the last
+  // slot is the overflow bucket.
+  Histogram h({1.0, 2.0, 5.0});
+  h.Record(1.0);  // exactly on a bound -> that bucket
+  h.Record(1.5);
+  h.Record(2.0);
+  h.Record(5.0);
+  h.Record(7.0);  // above every bound -> overflow
+  const HistogramSnapshot s = h.Snapshot();
+  ASSERT_EQ(s.counts.size(), 4u);
+  EXPECT_EQ(s.counts[0], 1u);
+  EXPECT_EQ(s.counts[1], 2u);
+  EXPECT_EQ(s.counts[2], 1u);
+  EXPECT_EQ(s.counts[3], 1u);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.sum, 16.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 7.0);
+}
+
+TEST(HistogramTest, EmptySnapshotIsAllZero) {
+  Histogram h({1.0, 2.0});
+  const HistogramSnapshot s = h.Snapshot();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.sum, 0.0);
+  EXPECT_EQ(s.min, 0.0);
+  EXPECT_EQ(s.max, 0.0);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.Quantile(0.5), 0.0);
+}
+
+TEST(HistogramTest, QuantileInterpolatesWithinBuckets) {
+  Histogram h({10.0, 20.0, 30.0});
+  h.Record(5.0);
+  h.Record(15.0);
+  h.Record(25.0);
+  h.Record(35.0);
+  const HistogramSnapshot s = h.Snapshot();
+  // The extreme quantiles clamp to the observed range, not the bucket
+  // bounds: q=0 interpolates up from min, q=1 caps at max.
+  EXPECT_DOUBLE_EQ(s.Quantile(0.0), 5.0);
+  EXPECT_DOUBLE_EQ(s.Quantile(1.0), 35.0);
+  // Rank 2 of 4 lands at the top of the second bucket [10, 20].
+  EXPECT_DOUBLE_EQ(s.Quantile(0.5), 20.0);
+  // Monotone in q.
+  double prev = 0.0;
+  for (double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+    const double v = s.Quantile(q);
+    EXPECT_GE(v, prev) << "q=" << q;
+    prev = v;
+  }
+}
+
+TEST(HistogramTest, SingleValueQuantilesCollapse) {
+  Histogram h(DefaultLatencyBucketsMs());
+  h.Record(3.25);
+  const HistogramSnapshot s = h.Snapshot();
+  EXPECT_DOUBLE_EQ(s.Quantile(0.5), 3.25);
+  EXPECT_DOUBLE_EQ(s.Quantile(0.99), 3.25);
+  EXPECT_DOUBLE_EQ(s.min, 3.25);
+  EXPECT_DOUBLE_EQ(s.max, 3.25);
+}
+
+TEST(HistogramTest, CrossThreadMergeEqualsSerialReference) {
+  // Integer-valued samples so the sharded sum is exact regardless of
+  // accumulation order.
+  const std::vector<double> bounds = {4.0, 16.0, 64.0, 256.0};
+  Histogram sharded(bounds);
+  Histogram serial(bounds);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&sharded, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        sharded.Record(static_cast<double>((t * 37 + i * 13) % 300));
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kPerThread; ++i) {
+      serial.Record(static_cast<double>((t * 37 + i * 13) % 300));
+    }
+  }
+  const HistogramSnapshot a = sharded.Snapshot();
+  const HistogramSnapshot b = serial.Snapshot();
+  EXPECT_EQ(a.counts, b.counts);
+  EXPECT_EQ(a.count, b.count);
+  EXPECT_DOUBLE_EQ(a.sum, b.sum);
+  EXPECT_DOUBLE_EQ(a.min, b.min);
+  EXPECT_DOUBLE_EQ(a.max, b.max);
+}
+
+TEST(HistogramTest, SnapshotWhileRecordingIsConsistent) {
+  // TSan surface: snapshots race with records by design; every snapshot
+  // must still be internally sane (count covers the bucket total).
+  Histogram h(DefaultLatencyBucketsMs());
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&h, &stop] {
+      double v = 0.001;
+      while (!stop.load(std::memory_order_relaxed)) {
+        h.Record(v);
+        v = v < 100 ? v * 1.7 : 0.001;
+      }
+    });
+  }
+  uint64_t last_count = 0;
+  for (int i = 0; i < 50; ++i) {
+    const HistogramSnapshot s = h.Snapshot();
+    // Mid-flight snapshots can catch a writer between its bucket and
+    // count updates, so the only invariant is monotonicity (plus "no
+    // data race", which TSan checks).
+    EXPECT_GE(s.count, last_count);
+    last_count = s.count;
+    s.Quantile(0.99);  // must not crash on a racing snapshot
+  }
+  stop.store(true);
+  for (std::thread& w : writers) w.join();
+  const HistogramSnapshot s = h.Snapshot();
+  uint64_t bucket_total = 0;
+  for (uint64_t c : s.counts) bucket_total += c;
+  EXPECT_EQ(s.count, bucket_total);
+}
+
+TEST(RegistryTest, SameNameReturnsSameObject) {
+  MetricsRegistry registry;
+  EXPECT_EQ(&registry.counter("a"), &registry.counter("a"));
+  EXPECT_NE(&registry.counter("a"), &registry.counter("b"));
+  EXPECT_EQ(&registry.gauge("g"), &registry.gauge("g"));
+  EXPECT_EQ(&registry.latency_histogram("h"),
+            &registry.latency_histogram("h"));
+}
+
+TEST(RegistryTest, SnapshotIsSortedAndComplete) {
+  MetricsRegistry registry;
+  registry.counter("z.count").Increment(2);
+  registry.counter("a.count").Increment();
+  registry.gauge("mid.depth").Set(7);
+  registry.latency_histogram("lat.ms").Record(1.0);
+  const MetricsSnapshot snap = registry.Snapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters[0].first, "a.count");
+  EXPECT_EQ(snap.counters[1].first, "z.count");
+#ifndef M2G_OBS_DISABLED
+  EXPECT_EQ(snap.counters[0].second, 1u);
+  EXPECT_EQ(snap.counters[1].second, 2u);
+#endif
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_EQ(snap.gauges[0].second, 7.0);
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_NE(snap.FindHistogram("lat.ms"), nullptr);
+  EXPECT_EQ(snap.FindHistogram("nope"), nullptr);
+}
+
+TEST(RegistryTest, CallbackGaugeIsPulledAtSnapshotTime) {
+  MetricsRegistry registry;
+  double backing = 1.0;
+  registry.AddCallbackGauge("pulled", [&backing] { return backing; });
+  EXPECT_EQ(registry.Snapshot().gauges[0].second, 1.0);
+  backing = 9.0;
+  EXPECT_EQ(registry.Snapshot().gauges[0].second, 9.0);
+}
+
+/// A little fixture registry shared by the two exporter golden tests.
+MetricsSnapshot GoldenSnapshot() {
+  static MetricsRegistry* registry = [] {
+    auto* r = new MetricsRegistry();
+    r->counter("requests").Increment(3);
+    r->gauge("depth").Set(2.5);
+    Histogram& h = r->histogram("lat.ms", {1.0, 2.0});
+    h.Record(0.5);
+    h.Record(1.5);
+    h.Record(10.0);
+    return r;
+  }();
+  return registry->Snapshot();
+}
+
+TEST(ExportTest, PrometheusGoldenText) {
+  M2G_SKIP_IF_OBS_DISABLED();
+  const std::string expected =
+      "# TYPE m2g_requests_total counter\n"
+      "m2g_requests_total 3\n"
+      "# TYPE m2g_depth gauge\n"
+      "m2g_depth 2.5\n"
+      "# TYPE m2g_lat_ms histogram\n"
+      "m2g_lat_ms_bucket{le=\"1\"} 1\n"
+      "m2g_lat_ms_bucket{le=\"2\"} 2\n"
+      "m2g_lat_ms_bucket{le=\"+Inf\"} 3\n"
+      "m2g_lat_ms_sum 12\n"
+      "m2g_lat_ms_count 3\n";
+  EXPECT_EQ(ExportPrometheus(GoldenSnapshot()), expected);
+}
+
+TEST(ExportTest, JsonGoldenText) {
+  M2G_SKIP_IF_OBS_DISABLED();
+  const std::string json = ExportJson(GoldenSnapshot());
+  EXPECT_NE(json.find("\"counters\": {\n    \"requests\": 3\n  }"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"depth\": 2.5"), std::string::npos) << json;
+  // p50: rank 1.5 of 3 lands half-way through the (1, 2] bucket.
+  EXPECT_NE(json.find("\"lat.ms\": {\"count\": 3, \"sum\": 12, "
+                      "\"min\": 0.5, \"max\": 10, \"mean\": 4, "
+                      "\"p50\": 1.5"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("{\"le\": \"+Inf\", \"count\": 1}"),
+            std::string::npos)
+      << json;
+}
+
+TEST(ExportTest, WriteMetricsFilePicksFormatBySuffix) {
+  // WriteMetricsFile snapshots the *global* registry — give it content.
+  MetricsRegistry::Global().counter("obs_test.writes").Increment();
+  const std::string prom_path = "obs_test_metrics.prom";
+  const std::string json_path = "obs_test_metrics.json";
+  ASSERT_TRUE(WriteMetricsFile(prom_path));
+  ASSERT_TRUE(WriteMetricsFile(json_path));
+  auto read = [](const std::string& path) {
+    std::FILE* f = std::fopen(path.c_str(), "r");
+    EXPECT_NE(f, nullptr);
+    std::string out;
+    char buf[4096];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+      out.append(buf, n);
+    }
+    std::fclose(f);
+    std::remove(path.c_str());
+    return out;
+  };
+  EXPECT_EQ(read(json_path).front(), '{');
+  const std::string prom = read(prom_path);
+  EXPECT_NE(prom.find("# TYPE"), std::string::npos);
+}
+
+TEST(TraceTest, SpanFeedsHistogramAndRing) {
+  M2G_SKIP_IF_OBS_DISABLED();
+  SetTraceRingCapacity(16);
+  Histogram h(DefaultLatencyBucketsMs());
+  {
+    TraceSpan span("obs_test.stage", &h);
+  }
+  const HistogramSnapshot s = h.Snapshot();
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_GE(s.max, 0.0);
+  const std::vector<TraceEvent> traces = RecentTraces();
+  ASSERT_EQ(traces.size(), 1u);
+  EXPECT_STREQ(traces[0].stage, "obs_test.stage");
+  EXPECT_GE(traces[0].duration_ms, 0.0);
+  EXPECT_GE(traces[0].start_ms, 0.0);
+  SetTraceRingCapacity(256);
+}
+
+TEST(TraceTest, RingWrapsKeepingNewestOldestFirst) {
+  M2G_SKIP_IF_OBS_DISABLED();
+  SetTraceRingCapacity(4);
+  Histogram h(DefaultLatencyBucketsMs());
+  static const char* const kStages[] = {
+      "obs_test.s0", "obs_test.s1", "obs_test.s2", "obs_test.s3",
+      "obs_test.s4", "obs_test.s5", "obs_test.s6"};
+  for (const char* stage : kStages) {
+    TraceSpan span(stage, &h);
+  }
+  const std::vector<TraceEvent> traces = RecentTraces();
+  ASSERT_EQ(traces.size(), 4u);
+  EXPECT_STREQ(traces[0].stage, "obs_test.s3");
+  EXPECT_STREQ(traces[3].stage, "obs_test.s6");
+  // Oldest-first: start offsets never decrease.
+  for (size_t i = 1; i < traces.size(); ++i) {
+    EXPECT_GE(traces[i].start_ms, traces[i - 1].start_ms);
+  }
+  SetTraceRingCapacity(256);
+}
+
+TEST(TraceTest, ZeroCapacityDisablesRetention) {
+  M2G_SKIP_IF_OBS_DISABLED();
+  SetTraceRingCapacity(0);
+  {
+    TraceSpan span("obs_test.dropped");
+  }
+  EXPECT_TRUE(RecentTraces().empty());
+  SetTraceRingCapacity(256);
+}
+
+TEST(TraceTest, ConcurrentSpansAreExactlyCounted) {
+  M2G_SKIP_IF_OBS_DISABLED();
+  SetTraceRingCapacity(256);
+  ClearTraces();
+  Histogram h(DefaultLatencyBucketsMs());
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&h] {
+      for (int i = 0; i < kPerThread; ++i) {
+        TraceSpan span("obs_test.concurrent", &h);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(h.Snapshot().count,
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(RecentTraces().size(), 256u);
+  ClearTraces();
+}
+
+TEST(EnabledTest, DisabledCountersAndSpansAreNoOps) {
+  M2G_SKIP_IF_OBS_DISABLED();
+  SetEnabled(false);
+  Counter c;
+  c.Increment();
+  EXPECT_EQ(c.Value(), 0u);
+  Histogram h(DefaultLatencyBucketsMs());
+  ClearTraces();
+  {
+    TraceSpan span("obs_test.disabled", &h);
+  }
+  EXPECT_EQ(h.Snapshot().count, 0u);
+  EXPECT_TRUE(RecentTraces().empty());
+  // Direct Record stays live: it is a measurement helper, not an event.
+  h.Record(1.0);
+  EXPECT_EQ(h.Snapshot().count, 1u);
+  SetEnabled(true);
+  EXPECT_TRUE(Enabled());
+}
+
+TEST(ThreadSlotTest, StableWithinThreadAndBounded) {
+  const int slot = internal::ThreadSlot();
+  EXPECT_EQ(slot, internal::ThreadSlot());
+  EXPECT_GE(slot, 0);
+  EXPECT_LT(slot, internal::kMaxShards);
+  int other = -1;
+  std::thread t([&other] { other = internal::ThreadSlot(); });
+  t.join();
+  EXPECT_GE(other, 0);
+  EXPECT_LT(other, internal::kMaxShards);
+}
+
+}  // namespace
+}  // namespace m2g::obs

@@ -1,11 +1,14 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <string>
 
 #include "core/trainer.h"
+#include "obs/export.h"
 #include "serve/eta_service.h"
 #include "serve/graph_builder.h"
 #include "serve/order_sorting_service.h"
+#include "serve/replay.h"
 
 namespace m2g::serve {
 namespace {
@@ -183,6 +186,58 @@ TEST(EtaServiceTest, EstimateOrderFindsAndRejects) {
   auto missing = eta.EstimateOrder(req, -1234);
   EXPECT_FALSE(missing.ok());
   EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+}
+
+TEST(TelemetryTest, ServingExportsCoverEveryStageAndCounter) {
+  // End-to-end telemetry: a concurrent replay (so the thread-pool
+  // gauges exist) plus one ETA call must leave every promised serving
+  // metric visible in both export formats.
+  ServeFixture* f = Fixture();
+  RtpService service(&f->built.world, f->model.get());
+  EtaService eta(&service);
+  std::vector<RtpRequest> requests;
+  const auto& samples = f->built.splits.test.samples;
+  for (size_t i = 0; i < samples.size() && i < 6; ++i) {
+    requests.push_back(f->RequestFromSample(samples[i]));
+  }
+  ASSERT_FALSE(requests.empty());
+  ConcurrentReplayResult replay =
+      ReplayConcurrently(service, requests, /*threads=*/2);
+  EXPECT_EQ(replay.responses.size(), requests.size());
+  EXPECT_FALSE(eta.Estimate(requests.front()).empty());
+  EXPECT_EQ(eta.requests_served(), 1);
+
+  const std::string prom = obs::ExportPrometheus();
+  for (const char* needle :
+       {"m2g_serve_stage_feature_extract_ms_bucket",
+        "m2g_serve_stage_graph_build_ms_bucket",
+        "m2g_serve_stage_encode_ms_bucket",
+        "m2g_serve_stage_route_decode_ms_bucket",
+        "m2g_serve_stage_eta_head_ms_bucket",
+        "m2g_serve_rtp_requests_total", "m2g_serve_eta_requests_total",
+        "m2g_pool_arena_hits", "m2g_pool_arena_misses",
+        "m2g_threadpool_queue_depth",
+        "m2g_threadpool_tasks_executed_total"}) {
+    EXPECT_NE(prom.find(needle), std::string::npos) << needle;
+  }
+  const std::string json = obs::ExportJson();
+  for (const char* needle :
+       {"\"serve.request.ms\"", "\"serve.eta.estimate.ms\"", "\"p50\"",
+        "\"p95\"", "\"p99\""}) {
+    EXPECT_NE(json.find(needle), std::string::npos) << needle;
+  }
+
+  const obs::MetricsSnapshot snap =
+      obs::MetricsRegistry::Global().Snapshot();
+  const obs::HistogramSnapshot* request_ms =
+      snap.FindHistogram("serve.request.ms");
+  ASSERT_NE(request_ms, nullptr);
+#ifndef M2G_OBS_DISABLED
+  // The registry is process-wide, so earlier tests may have served too.
+  EXPECT_GE(request_ms->count, requests.size());
+#endif
+  EXPECT_LE(request_ms->Quantile(0.50), request_ms->Quantile(0.95));
+  EXPECT_LE(request_ms->Quantile(0.95), request_ms->Quantile(0.99));
 }
 
 }  // namespace
