@@ -1,0 +1,164 @@
+// Decode fast-path bench: A/B of the request-scoped key cache + batched
+// beam decode (AttentionRouteDecoder::DecodeGreedy/DecodeBeam) against
+// the legacy per-step recompute (Decode*Legacy), across n in {10, 25,
+// 50, 100} nodes and beam widths {1, 5, 10} at paper dims (node 48,
+// courier 24, LSTM 48). Every cell also checks the two paths emit
+// byte-identical routes — the fast path is a pure restructuring, so any
+// divergence is a bug, not noise.
+//
+// --smoke runs few iterations and gates on
+//   * routes identical in every cell,
+//   * >= 2.0x greedy speedup at n = 50,
+//   * >= 1.5x beam-10 speedup at n = 50,
+//   * BENCH_decode.json written.
+// Both modes dump BENCH_decode.json at the CWD (repo root in CI) for the
+// perf-trajectory artifact trail.
+//
+// Scale knob: M2G_BENCH_DECODE_ITERS (default 40 full / 5 smoke).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "core/route_decoder.h"
+#include "tensor/grad_mode.h"
+#include "tensor/pool.h"
+
+namespace {
+
+using namespace m2g;
+
+volatile float g_sink = 0;
+
+/// Mean per-call milliseconds: one untimed warm-up call inside a fresh
+/// arena (fills the free lists and the branch predictors), then `iters`
+/// timed calls on the warm pool.
+template <typename F>
+double MeasureMs(F&& fn, int iters) {
+  ArenaGuard arena;
+  fn();
+  Stopwatch watch;
+  for (int i = 0; i < iters; ++i) fn();
+  return watch.ElapsedMillis() / iters;
+}
+
+struct CellResult {
+  int n = 0;
+  int beam = 0;
+  double legacy_ms = 0;
+  double fast_ms = 0;
+  bool identical = false;
+
+  double speedup() const {
+    return fast_ms > 0 ? legacy_ms / fast_ms : 0.0;
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  int iters = smoke ? 5 : 40;
+  if (const char* v = std::getenv("M2G_BENCH_DECODE_ITERS")) {
+    const int n = std::atoi(v);
+    if (n > 0) iters = n;
+  }
+  // Paper dims (core::ModelConfig defaults): the location-level decoder
+  // is the serving hot path.
+  const int node_dim = 48, courier_dim = 24, lstm_hidden = 48;
+  Rng rng(20230707);
+  core::AttentionRouteDecoder decoder(node_dim, courier_dim, lstm_hidden,
+                                      &rng);
+
+  std::printf("decode fast path vs legacy (%d iters/cell, dims %d/%d/%d)\n",
+              iters, node_dim, courier_dim, lstm_hidden);
+  std::printf("%6s %6s %12s %12s %9s %10s\n", "n", "beam", "legacy(ms)",
+              "fast(ms)", "speedup", "identical");
+
+  std::vector<CellResult> cells;
+  for (int n : {10, 25, 50, 100}) {
+    Tensor nodes =
+        Tensor::Constant(Matrix::Random(n, node_dim, -1.0f, 1.0f, &rng));
+    Tensor courier =
+        Tensor::Constant(Matrix::Random(1, courier_dim, -1.0f, 1.0f, &rng));
+    for (int beam : {1, 5, 10}) {
+      const auto fast = [&] {
+        std::vector<int> r = beam == 1
+                                 ? decoder.DecodeGreedy(nodes, courier)
+                                 : decoder.DecodeBeam(nodes, courier, beam);
+        g_sink += static_cast<float>(r.front());
+        return r;
+      };
+      const auto legacy = [&] {
+        // No-grad for fairness: this is what the legacy path cost in
+        // serving, without per-step autograd bookkeeping on top.
+        NoGradGuard no_grad;
+        std::vector<int> r =
+            beam == 1 ? decoder.DecodeGreedyLegacy(nodes, courier)
+                      : decoder.DecodeBeamLegacy(nodes, courier, beam);
+        g_sink += static_cast<float>(r.front());
+        return r;
+      };
+      CellResult cell;
+      cell.n = n;
+      cell.beam = beam;
+      cell.identical = fast() == legacy();
+      cell.legacy_ms = MeasureMs(legacy, iters);
+      cell.fast_ms = MeasureMs(fast, iters);
+      std::printf("%6d %6d %12.4f %12.4f %8.2fx %10s\n", n, beam,
+                  cell.legacy_ms, cell.fast_ms, cell.speedup(),
+                  cell.identical ? "yes" : "NO");
+      cells.push_back(cell);
+    }
+  }
+
+  bench::JsonValue results = bench::JsonValue::Array();
+  for (const CellResult& c : cells) {
+    results.Push(bench::JsonValue::Object()
+                     .Set("n", bench::JsonValue::Int(c.n))
+                     .Set("beam", bench::JsonValue::Int(c.beam))
+                     .Set("legacy_ms", bench::JsonValue::Number(c.legacy_ms))
+                     .Set("fast_ms", bench::JsonValue::Number(c.fast_ms))
+                     .Set("speedup", bench::JsonValue::Number(c.speedup()))
+                     .Set("routes_identical",
+                          bench::JsonValue::Bool(c.identical)));
+  }
+  bench::JsonValue doc =
+      bench::JsonValue::Object()
+          .Set("bench", bench::JsonValue::String("decode_fastpath"))
+          .Set("mode", bench::JsonValue::String(smoke ? "smoke" : "full"))
+          .Set("iters", bench::JsonValue::Int(iters))
+          .Set("node_dim", bench::JsonValue::Int(node_dim))
+          .Set("results", std::move(results));
+  const bool json_ok = bench::WriteBenchJson("BENCH_decode.json", doc);
+
+  bool ok = json_ok;
+  for (const CellResult& c : cells) {
+    if (!c.identical) {
+      std::fprintf(stderr,
+                   "FAIL: fast/legacy routes differ at n=%d beam=%d\n", c.n,
+                   c.beam);
+      ok = false;
+    }
+  }
+  if (smoke) {
+    for (const CellResult& c : cells) {
+      if (c.n != 50) continue;
+      const double need = c.beam == 1 ? 2.0 : (c.beam == 10 ? 1.5 : 0.0);
+      if (need > 0 && c.speedup() < need) {
+        std::fprintf(stderr,
+                     "FAIL: n=50 beam=%d speedup %.2fx < required %.2fx\n",
+                     c.beam, c.speedup(), need);
+        ok = false;
+      }
+    }
+  }
+  if (!ok) return 1;
+  std::printf(smoke ? "decode fast-path smoke OK\n" : "done\n");
+  return 0;
+}

@@ -52,6 +52,7 @@ int main() {
   std::printf("Training throughput (1 epoch, %d samples)\n", max_samples);
   std::printf("%8s %12s %14s %9s\n", "threads", "seconds", "samples/sec",
               "speedup");
+  bench::JsonValue training_rows = bench::JsonValue::Array();
   double serial_seconds = 0;
   for (int t : thread_counts) {
     core::M2g4Rtp model(BenchModelConfig());
@@ -64,9 +65,16 @@ int main() {
     trainer.Fit(built.splits.train, built.splits.val);
     const double seconds = watch.ElapsedSeconds();
     if (t == 1) serial_seconds = seconds;
+    const double speedup = serial_seconds > 0 ? serial_seconds / seconds : 0.0;
     std::printf("%8d %12.3f %14.1f %8.2fx\n", t, seconds,
-                max_samples / seconds,
-                serial_seconds > 0 ? serial_seconds / seconds : 0.0);
+                max_samples / seconds, speedup);
+    training_rows.Push(
+        bench::JsonValue::Object()
+            .Set("threads", bench::JsonValue::Int(t))
+            .Set("seconds", bench::JsonValue::Number(seconds))
+            .Set("samples_per_sec",
+                 bench::JsonValue::Number(max_samples / seconds))
+            .Set("speedup", bench::JsonValue::Number(speedup)));
   }
 
   // --- Serving QPS: concurrent replay of the same request set per t. ---
@@ -89,14 +97,23 @@ int main() {
               requests.size());
   std::printf("%8s %12s %14s %9s\n", "threads", "seconds", "requests/sec",
               "speedup");
+  bench::JsonValue serving_rows = bench::JsonValue::Array();
   double serial_qps = 0;
   for (int t : thread_counts) {
     serve::ConcurrentReplayResult r =
         serve::ReplayConcurrently(service, requests, t);
     if (t == 1) serial_qps = r.requests_per_second;
+    const double speedup =
+        serial_qps > 0 ? r.requests_per_second / serial_qps : 0.0;
     std::printf("%8d %12.3f %14.1f %8.2fx\n", t, r.wall_seconds,
-                r.requests_per_second,
-                serial_qps > 0 ? r.requests_per_second / serial_qps : 0.0);
+                r.requests_per_second, speedup);
+    serving_rows.Push(
+        bench::JsonValue::Object()
+            .Set("threads", bench::JsonValue::Int(t))
+            .Set("wall_seconds", bench::JsonValue::Number(r.wall_seconds))
+            .Set("requests_per_sec",
+                 bench::JsonValue::Number(r.requests_per_second))
+            .Set("speedup", bench::JsonValue::Number(speedup)));
   }
 
   // --- Grad-mode vs no-grad single-request latency. ---
@@ -122,5 +139,18 @@ int main() {
   std::printf("  grad-mode mean: %8.3f ms\n", grad_ms / probes);
   std::printf("  no-grad mean:   %8.3f ms (%.2fx)\n", no_grad_ms / probes,
               no_grad_ms > 0 ? grad_ms / no_grad_ms : 0.0);
+
+  bench::JsonValue doc =
+      bench::JsonValue::Object()
+          .Set("bench", bench::JsonValue::String("parallel_scaling"))
+          .Set("hardware_threads", bench::JsonValue::Int(HardwareThreads()))
+          .Set("training", std::move(training_rows))
+          .Set("serving", std::move(serving_rows))
+          .Set("single_request",
+               bench::JsonValue::Object()
+                   .Set("grad_ms", bench::JsonValue::Number(grad_ms / probes))
+                   .Set("no_grad_ms",
+                        bench::JsonValue::Number(no_grad_ms / probes)));
+  if (!bench::WriteBenchJson("BENCH_parallel_scaling.json", doc)) return 1;
   return 0;
 }

@@ -9,6 +9,8 @@
 #include "common/string_util.h"
 #include "common/thread_pool.h"
 #include "obs/metrics.h"
+#include "tensor/grad_mode.h"
+#include "tensor/pool.h"
 
 namespace m2g::eval {
 namespace {
@@ -34,6 +36,12 @@ MethodResult RunOnce(const synth::DatasetSplits& splits,
   // stopwatch — metric bookkeeping no longer pollutes the mean.
   obs::Histogram predict_hist(obs::DefaultLatencyBucketsMs());
   for (const synth::Sample& s : splits.test.samples) {
+    // Inference-only loop: no-grad + per-sample arena, the serving
+    // layer's request pattern (RtpService::Handle). Predictions are
+    // bitwise-identical; the graph bookkeeping just disappears, which
+    // matters now that Table III/V run this decode thousands of times.
+    NoGradGuard no_grad;
+    ArenaGuard request_arena;
     Stopwatch watch;
     core::RtpPrediction pred = model->Predict(s);
     predict_hist.Record(watch.ElapsedMillis());

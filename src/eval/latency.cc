@@ -10,16 +10,20 @@
 namespace m2g::eval {
 
 std::string ComplexityFormula(const std::string& method) {
+  // The neural methods share AttentionRouteDecoder, whose request-scoped
+  // key cache computes the O(N F^2) pointer projection once instead of
+  // per step, so every decode term is N^2 F (N steps of O(N F) scoring)
+  // rather than the naive N^2 F^2.
   if (method == "Distance-Greedy" || method == "Time-Greedy") {
     return "O(N log N)";
   }
   if (method == "OR-Tools") return "O(N^2) per 2-opt pass";
   if (method == "OSquare") return "O(t d F N)";
-  if (method == "DeepRoute") return "O(N^2 F + N F^2 + N^2 F^2)";
-  if (method == "Graph2Route") return "O(N F^2 + E F^2 + N^2 F^2)";
-  if (method == "FDNET") return "O(N F^2 + N^2 F^2)";
+  if (method == "DeepRoute") return "O(N^2 F + N F^2)";
+  if (method == "Graph2Route") return "O(N F^2 + E F^2 + N^2 F)";
+  if (method == "FDNET") return "O(N F^2 + N^2 F)";
   if (method == "M2G4RTP") {
-    return "O(N F^2 + E F^2 + N^2 F^2 + A^2 F^2)";
+    return "O(N F^2 + E F^2 + N^2 F + A^2 F)";
   }
   return "?";
 }

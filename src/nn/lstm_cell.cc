@@ -1,5 +1,7 @@
 #include "nn/lstm_cell.h"
 
+#include <cmath>
+
 #include "nn/init.h"
 
 namespace m2g::nn {
@@ -35,6 +37,56 @@ LstmState LstmCell::Forward(const Tensor& x, const LstmState& state) const {
 LstmState LstmCell::InitialState() const {
   return {Tensor::Constant(Matrix(1, hidden_size_)),
           Tensor::Constant(Matrix(1, hidden_size_))};
+}
+
+void LstmCell::StepRawBatch(const float* const* x_rows, int batch,
+                            const Matrix& h, const Matrix& c, Matrix* h_out,
+                            Matrix* c_out) const {
+  const int H = hidden_size_;
+  const size_t G = static_cast<size_t>(4) * H;
+  M2G_CHECK_EQ(h.rows(), batch);
+  M2G_CHECK_EQ(h.cols(), H);
+  M2G_CHECK(c.SameShape(h));
+  M2G_CHECK(h_out->SameShape(h) && c_out->SameShape(c));
+  const Matrix& wih = w_ih_.value();
+  const Matrix& whh = w_hh_.value();
+  const float* bias = bias_.value().data();
+  // Gate pre-activation in DualAffineRaw's exact sequence: the x side
+  // accumulated into zeroed gates, the h side materialized separately,
+  // one elementwise add, then the bias row. Each row is an independent
+  // accumulator chain, so batching the hypotheses changes nothing.
+  Matrix gates(batch, 4 * H);
+  for (int b = 0; b < batch; ++b) {
+    AccumulateRowMatMul(x_rows[b], input_size_, wih.data(), 4 * H,
+                        gates.data() + b * G);
+  }
+  Matrix scratch(batch, 4 * H);
+  for (int b = 0; b < batch; ++b) {
+    AccumulateRowMatMul(h.data() + static_cast<size_t>(b) * H, H,
+                        whh.data(), 4 * H, scratch.data() + b * G);
+  }
+  gates.AddInPlace(scratch);
+  for (int b = 0; b < batch; ++b) {
+    float* grow = gates.data() + b * G;
+    for (int j = 0; j < 4 * H; ++j) grow[j] += bias[j];
+  }
+  // c' = sigmoid(f) * c + sigmoid(i) * tanh(g); h' = sigmoid(o) * tanh(c'),
+  // the exact per-element expressions of the op chain in Forward().
+  for (int b = 0; b < batch; ++b) {
+    const float* g = gates.data() + b * G;
+    const float* cp = c.data() + static_cast<size_t>(b) * H;
+    float* ho = h_out->data() + static_cast<size_t>(b) * H;
+    float* co = c_out->data() + static_cast<size_t>(b) * H;
+    for (int j = 0; j < H; ++j) {
+      const float iv = 1.0f / (1.0f + std::exp(-g[j]));
+      const float fv = 1.0f / (1.0f + std::exp(-g[H + j]));
+      const float gv = std::tanh(g[2 * H + j]);
+      const float ov = 1.0f / (1.0f + std::exp(-g[3 * H + j]));
+      const float cn = (fv * cp[j]) + (iv * gv);
+      co[j] = cn;
+      ho[j] = ov * std::tanh(cn);
+    }
+  }
 }
 
 }  // namespace m2g::nn

@@ -30,6 +30,17 @@ class LstmCell : public Module {
   /// All-zeros initial state (constant, no grad).
   LstmState InitialState() const;
 
+  /// Decode fast path: advances `batch` independent states in one fused
+  /// gate computation, no autograd. `x_rows[b]` points at row b's input
+  /// (`input_size` floats — typically rows of a cached node matrix, so
+  /// steps copy nothing); `h`/`c` are (batch, hidden) with row b holding
+  /// state b; outputs must be distinct (batch, hidden) matrices. Row b
+  /// equals Forward() on that row alone, bit for bit: the gate kernel is
+  /// DualAffineRaw's exact sequence (row-independent) and the elementwise
+  /// update matches the Sigmoid/Tanh/Mul/Add op chain term for term.
+  void StepRawBatch(const float* const* x_rows, int batch, const Matrix& h,
+                    const Matrix& c, Matrix* h_out, Matrix* c_out) const;
+
   int input_size() const { return input_size_; }
   int hidden_size() const { return hidden_size_; }
 

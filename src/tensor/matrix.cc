@@ -11,19 +11,13 @@ namespace {
 
 /// out += a * b accumulated in the canonical i-k-j order (streams through
 /// b and out row-wise, skips zero entries of a). Every matmul-shaped
-/// kernel below goes through this one loop so their accumulation orders
-/// are identical by construction.
+/// kernel below goes through AccumulateRowMatMul row by row so their
+/// accumulation orders are identical by construction.
 void MatMulAccumulate(const Matrix& a, const Matrix& b, Matrix* out) {
   const int n = a.rows(), k = a.cols(), m = b.cols();
   for (int i = 0; i < n; ++i) {
-    const float* arow = a.data() + static_cast<size_t>(i) * k;
-    float* orow = out->data() + static_cast<size_t>(i) * m;
-    for (int p = 0; p < k; ++p) {
-      const float av = arow[p];
-      if (av == 0.0f) continue;
-      const float* brow = b.data() + static_cast<size_t>(p) * m;
-      for (int j = 0; j < m; ++j) orow[j] += av * brow[j];
-    }
+    AccumulateRowMatMul(a.data() + static_cast<size_t>(i) * k, k, b.data(),
+                        m, out->data() + static_cast<size_t>(i) * m);
   }
 }
 
@@ -204,6 +198,84 @@ Matrix AffineRaw(const Matrix& x, const Matrix& w, const Matrix* bias,
     }
   }
   return out;
+}
+
+void AccumulateRowMatMul(const float* x, int k, const float* b, int m,
+                         float* out_row) {
+  // Zero-scan picks the path: the branchy loop wins when rows carry exact
+  // zeros (one-hot features, ReLU outputs, the all-zero initial LSTM
+  // state), the register-blocked loop wins on dense activations. The scan
+  // is O(k) against the O(k*m) kernel and exits at the first zero, so
+  // it is only worth running for non-trivial output widths.
+  bool dense = m >= 4;
+  if (dense) {
+    for (int p = 0; p < k; ++p) {
+      if (x[p] == 0.0f) {
+        dense = false;
+        break;
+      }
+    }
+  }
+  if (!dense) {
+    for (int p = 0; p < k; ++p) {
+      const float av = x[p];
+      if (av == 0.0f) continue;
+      const float* brow = b + static_cast<size_t>(p) * m;
+      for (int j = 0; j < m; ++j) out_row[j] += av * brow[j];
+    }
+    return;
+  }
+  // Register-blocked dense path: four b-rows per pass over out_row, one
+  // load/store of each accumulator instead of four. The per-column
+  // additions stay separate statements in ascending-p order (no
+  // reassociation), so this is the branchy loop minus its branches, bit
+  // for bit — the scan guaranteed no term would have been skipped.
+  int p = 0;
+  for (; p + 4 <= k; p += 4) {
+    const float a0 = x[p], a1 = x[p + 1], a2 = x[p + 2], a3 = x[p + 3];
+    const float* b0 = b + static_cast<size_t>(p) * m;
+    const float* b1 = b0 + m;
+    const float* b2 = b1 + m;
+    const float* b3 = b2 + m;
+    for (int j = 0; j < m; ++j) {
+      float acc = out_row[j];
+      acc += a0 * b0[j];
+      acc += a1 * b1[j];
+      acc += a2 * b2[j];
+      acc += a3 * b3[j];
+      out_row[j] = acc;
+    }
+  }
+  for (; p < k; ++p) {
+    const float av = x[p];
+    const float* brow = b + static_cast<size_t>(p) * m;
+    for (int j = 0; j < m; ++j) out_row[j] += av * brow[j];
+  }
+}
+
+float PointerScoreRow(const float* keys_row, const float* q, const float* v,
+                      int d) {
+  // Mirrors MatMulRaw(tanh(keys + q), v) for one row: the (d, 1) product
+  // accumulates in ascending-p order and skips terms whose tanh is
+  // exactly zero, matching the matrix kernel's zero-skip.
+  float acc = 0.0f;
+  for (int p = 0; p < d; ++p) {
+    const float t = std::tanh(keys_row[p] + q[p]);
+    if (t == 0.0f) continue;
+    acc += t * v[p];
+  }
+  return acc;
+}
+
+void PointerScoresMasked(const Matrix& keys, const float* q, const float* v,
+                         const std::vector<bool>& mask, float* scores) {
+  const int n = keys.rows(), d = keys.cols();
+  M2G_CHECK_EQ(static_cast<size_t>(n), mask.size());
+  for (int i = 0; i < n; ++i) {
+    if (!mask[i]) continue;
+    scores[i] =
+        PointerScoreRow(keys.data() + static_cast<size_t>(i) * d, q, v, d);
+  }
 }
 
 Matrix DualAffineRaw(const Matrix& x, const Matrix& wx, const Matrix& h,

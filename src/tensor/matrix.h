@@ -150,6 +150,37 @@ Matrix AffineRaw(const Matrix& x, const Matrix& w, const Matrix* bias,
 Matrix DualAffineRaw(const Matrix& x, const Matrix& wx, const Matrix& h,
                      const Matrix& wh, const Matrix& bias);
 
+// ---------------------------------------------------------------------------
+// Row-level kernels for the decode fast path. These are the primitives
+// behind the matrix-level kernels above (MatMulRaw et al. route every row
+// through AccumulateRowMatMul), so callers can mix row- and matrix-level
+// calls without changing a single output bit.
+// ---------------------------------------------------------------------------
+
+/// out_row += x * b for one row: x is k floats, b is (k, m) row-major,
+/// out_row is m floats, accumulated in the canonical ascending-p order
+/// with the `x[p] == 0` skip. When the row contains no exact zeros —
+/// typical for dense hidden activations — a register-blocked path without
+/// the per-term branch is selected instead; it adds the same terms to the
+/// same accumulators in the same order, so the result is bitwise-identical
+/// either way.
+void AccumulateRowMatMul(const float* x, int k, const float* b, int m,
+                         float* out_row);
+
+/// Attention-pointer score for one cached key row:
+///   sum_p tanh(keys_row[p] + q[p]) * v[p]
+/// with the exact ascending-p order and skip-if-zero of the
+/// AddRowBroadcast -> Tanh -> MatMulRaw composition it replaces, but
+/// without materializing any (n, d) temporaries.
+float PointerScoreRow(const float* keys_row, const float* q, const float* v,
+                      int d);
+
+/// PointerScoreRow over every unmasked row of `keys` (n, d); scores[i] is
+/// written only where mask[i] is true. The legacy path never reads masked
+/// rows' scores either, so skipping them entirely is exact.
+void PointerScoresMasked(const Matrix& keys, const float* q, const float* v,
+                         const std::vector<bool>& mask, float* scores);
+
 }  // namespace m2g
 
 #endif  // M2G_TENSOR_MATRIX_H_

@@ -97,6 +97,24 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   });
 }
 
+Tensor MatMulWithValue(const Tensor& a, const Tensor& b,
+                       const Matrix& value) {
+  M2G_CHECK_EQ(a.value().cols(), b.value().rows());
+  M2G_CHECK_EQ(value.rows(), a.value().rows());
+  M2G_CHECK_EQ(value.cols(), b.value().cols());
+  NodePtr node = NewNode(value);
+  NodePtr an = a.node(), bn = b.node();
+  return MakeOp(node, {an, bn}, [an, bn](TensorNode* self) {
+    // Same backward as MatMul: the hoisting only skips forward kernels.
+    if (an->requires_grad) {
+      an->EnsureGrad().AddInPlace(MatMulABT(self->grad, bn->value));
+    }
+    if (bn->requires_grad) {
+      bn->EnsureGrad().AddInPlace(MatMulATB(an->value, self->grad));
+    }
+  });
+}
+
 Tensor Affine(const Tensor& x, const Tensor& w, const Tensor& b,
               Activation act) {
   const Matrix* bias = b.defined() ? &b.value() : nullptr;

@@ -16,6 +16,17 @@ namespace m2g {
 /// (n,k) x (k,m) -> (n,m).
 Tensor MatMul(const Tensor& a, const Tensor& b);
 
+/// MatMul(a, b) with the forward value supplied by the caller instead of
+/// recomputed. The decode/training fast path hoists the step-invariant
+/// `MatMul(nodes, W6)` out of the decode loop by running the kernel once
+/// (MatMulRaw) and rebuilding the per-step graph node around the shared
+/// value. The node, parents and backward closure are exactly MatMul's, so
+/// gradient accumulation slots — and therefore float summation order —
+/// are unchanged. `value` must equal MatMulRaw(a.value(), b.value());
+/// shapes are checked, contents are the caller's contract.
+Tensor MatMulWithValue(const Tensor& a, const Tensor& b,
+                       const Matrix& value);
+
 /// Fused act(x * w + b): one node replacing the MatMul + AddRowBroadcast
 /// (+ Relu) chain — bitwise-identical values and gradients, no transpose
 /// copies in the backward (MatMulATB / MatMulABT kernels) and no

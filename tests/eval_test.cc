@@ -129,9 +129,13 @@ TEST(LatencyTest, MeasuresHeuristics) {
   EXPECT_EQ(r.complexity, "O(N log N)");
 }
 
-TEST(LatencyTest, ComplexityTableMatchesPaper) {
+TEST(LatencyTest, ComplexityTableReflectsDecodeKeyCache) {
+  // Decode contributes N^2 F (cached keys, O(N F) scoring per step)
+  // instead of the naive N^2 F^2 recompute.
   EXPECT_EQ(ComplexityFormula("M2G4RTP"),
-            "O(N F^2 + E F^2 + N^2 F^2 + A^2 F^2)");
+            "O(N F^2 + E F^2 + N^2 F + A^2 F)");
+  EXPECT_EQ(ComplexityFormula("Graph2Route"),
+            "O(N F^2 + E F^2 + N^2 F)");
   EXPECT_EQ(ComplexityFormula("OSquare"), "O(t d F N)");
   EXPECT_EQ(ComplexityFormula("unknown-method"), "?");
 }

@@ -1,5 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "common/rng.h"
 #include "tensor/matrix.h"
 
 namespace m2g {
@@ -76,6 +81,101 @@ TEST(MatrixTest, TransposeRoundTrip) {
   EXPECT_EQ(t.cols(), 3);
   Matrix tt = TransposeRaw(t);
   for (size_t i = 0; i < a.size(); ++i) EXPECT_FLOAT_EQ(tt[i], a[i]);
+}
+
+// The canonical accumulation order every matmul-shaped kernel promises:
+// ascending p, skip exact zeros, ascending j into out_row. The dense
+// register-blocked path AccumulateRowMatMul selects for zero-free rows
+// must reproduce this bit for bit.
+void ReferenceRowMatMul(const float* x, int k, const Matrix& b,
+                        float* out_row) {
+  for (int p = 0; p < k; ++p) {
+    if (x[p] == 0.0f) continue;
+    for (int j = 0; j < b.cols(); ++j) {
+      out_row[j] += x[p] * b.At(p, j);
+    }
+  }
+}
+
+TEST(RowKernelTest, AccumulateRowMatMulMatchesReferenceBitwise) {
+  Rng rng(42);
+  // k values straddle the 4-wide unroll boundary; m = 3 exercises the
+  // small-output branchy fallback, m = 7 the dense path.
+  for (int k : {1, 3, 4, 7, 9, 16}) {
+    for (int m : {3, 7}) {
+      for (bool with_zeros : {false, true}) {
+        Matrix x = Matrix::Random(1, k, -1, 1, &rng);
+        if (with_zeros && k > 1) {
+          x.At(0, 0) = 0.0f;
+          x.At(0, k / 2) = 0.0f;
+        }
+        const Matrix b = Matrix::Random(k, m, -1, 1, &rng);
+        std::vector<float> got(m, 0.5f), want(m, 0.5f);
+        AccumulateRowMatMul(x.data(), k, b.data(), m, got.data());
+        ReferenceRowMatMul(x.data(), k, b, want.data());
+        EXPECT_EQ(std::memcmp(got.data(), want.data(), m * sizeof(float)), 0)
+            << "k=" << k << " m=" << m << " zeros=" << with_zeros;
+      }
+    }
+  }
+}
+
+TEST(RowKernelTest, MatMulRawAgreesWithRowPrimitive) {
+  Rng rng(43);
+  const Matrix a = Matrix::Random(5, 9, -1, 1, &rng);
+  const Matrix b = Matrix::Random(9, 6, -1, 1, &rng);
+  const Matrix full = MatMulRaw(a, b);
+  for (int i = 0; i < a.rows(); ++i) {
+    std::vector<float> row(b.cols(), 0.0f);
+    AccumulateRowMatMul(a.data() + static_cast<size_t>(i) * a.cols(),
+                        a.cols(), b.data(), b.cols(), row.data());
+    EXPECT_EQ(std::memcmp(row.data(),
+                          full.data() + static_cast<size_t>(i) * b.cols(),
+                          b.cols() * sizeof(float)),
+              0)
+        << "row " << i;
+  }
+}
+
+TEST(RowKernelTest, PointerScoreRowMatchesComposedOps) {
+  Rng rng(44);
+  const int d = 48;
+  const Matrix keys = Matrix::Random(4, d, -1, 1, &rng);
+  const Matrix q = Matrix::Random(1, d, -1, 1, &rng);
+  const Matrix v = Matrix::Random(d, 1, -1, 1, &rng);
+  for (int i = 0; i < keys.rows(); ++i) {
+    // Reference: materialize tanh(keys_i + q) as a row and route it
+    // through MatMulRaw — the composition the fused kernel replaces.
+    Matrix t(1, d);
+    for (int p = 0; p < d; ++p) {
+      t.At(0, p) = std::tanh(keys.At(i, p) + q.At(0, p));
+    }
+    const Matrix want = MatMulRaw(t, v);
+    const float got =
+        PointerScoreRow(keys.data() + static_cast<size_t>(i) * d, q.data(),
+                        v.data(), d);
+    EXPECT_EQ(std::memcmp(&got, want.data(), sizeof(float)), 0) << "row " << i;
+  }
+}
+
+TEST(RowKernelTest, PointerScoresMaskedSkipsMaskedRows) {
+  Rng rng(45);
+  const int n = 6, d = 8;
+  const Matrix keys = Matrix::Random(n, d, -1, 1, &rng);
+  const Matrix q = Matrix::Random(1, d, -1, 1, &rng);
+  const Matrix v = Matrix::Random(d, 1, -1, 1, &rng);
+  const std::vector<bool> mask = {true, false, true, true, false, true};
+  std::vector<float> scores(n, -123.0f);
+  PointerScoresMasked(keys, q.data(), v.data(), mask, scores.data());
+  for (int i = 0; i < n; ++i) {
+    if (!mask[i]) {
+      EXPECT_EQ(scores[i], -123.0f) << "masked row " << i << " was written";
+      continue;
+    }
+    const float want = PointerScoreRow(
+        keys.data() + static_cast<size_t>(i) * d, q.data(), v.data(), d);
+    EXPECT_EQ(scores[i], want) << "row " << i;
+  }
 }
 
 TEST(MatrixTest, RandomIsDeterministicGivenSeed) {
