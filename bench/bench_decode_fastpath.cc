@@ -91,7 +91,7 @@ int main(int argc, char** argv) {
         std::vector<int> r = beam == 1
                                  ? decoder.DecodeGreedy(nodes, courier)
                                  : decoder.DecodeBeam(nodes, courier, beam);
-        g_sink += static_cast<float>(r.front());
+        g_sink = g_sink + static_cast<float>(r.front());
         return r;
       };
       const auto legacy = [&] {
@@ -101,7 +101,7 @@ int main(int argc, char** argv) {
         std::vector<int> r =
             beam == 1 ? decoder.DecodeGreedyLegacy(nodes, courier)
                       : decoder.DecodeBeamLegacy(nodes, courier, beam);
-        g_sink += static_cast<float>(r.front());
+        g_sink = g_sink + static_cast<float>(r.front());
         return r;
       };
       CellResult cell;

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_util.h"
 #include "common/stopwatch.h"
 #include "core/model.h"
 #include "serve/replay.h"
@@ -65,16 +66,23 @@ OpResult MeasureOp(int iters, Fn&& fn) {
   return r;
 }
 
-void PrintRow(const char* name, const OpResult& fused,
-              const OpResult& unfused) {
+struct KernelRow {
+  std::string name;
+  OpResult fused;
+  OpResult unfused;
+};
+
+void PrintRow(std::vector<KernelRow>* rows, const char* name,
+              const OpResult& fused, const OpResult& unfused) {
   std::printf("  %-22s %9.0f %11.0f %8.2fx %10.1f %12.1f\n", name,
               fused.ns_per_op, unfused.ns_per_op,
               unfused.ns_per_op / fused.ns_per_op, fused.bufs_per_op,
               unfused.bufs_per_op);
+  rows->push_back({name, fused, unfused});
 }
 
 /// Typical decoder-step shapes: n graph nodes, d hidden units.
-void BenchKernels(int iters) {
+std::vector<KernelRow> BenchKernels(int iters) {
   const int n = 20, k = 64, m = 64;
   m2g::Rng rng(1);
   const Matrix a = Matrix::Random(k, n, -1, 1, &rng);
@@ -88,17 +96,18 @@ void BenchKernels(int iters) {
   std::printf("  %-22s %9s %11s %8s %10s %12s\n", "", "fused ns",
               "unfused ns", "speedup", "fused b/op", "unfused b/op");
 
-  PrintRow("MatMulATB",
+  std::vector<KernelRow> rows;
+  PrintRow(&rows, "MatMulATB",
            MeasureOp(iters, [&] { Sink(MatMulATB(a, b).At(0, 0)); }),
            MeasureOp(iters, [&] {
              Sink(MatMulRaw(TransposeRaw(a), b).At(0, 0));
            }));
-  PrintRow("MatMulABT",
+  PrintRow(&rows, "MatMulABT",
            MeasureOp(iters, [&] { Sink(MatMulABT(x, bt).At(0, 0)); }),
            MeasureOp(iters, [&] {
              Sink(MatMulRaw(x, TransposeRaw(bt)).At(0, 0));
            }));
-  PrintRow("AffineRaw",
+  PrintRow(&rows, "AffineRaw",
            MeasureOp(iters,
                      [&] {
                        Sink(AffineRaw(x, w, &bias, m2g::Activation::kRelu)
@@ -120,7 +129,7 @@ void BenchKernels(int iters) {
   Tensor xp = Tensor::Parameter(x);
   Tensor wp = Tensor::Parameter(w);
   Tensor bp = Tensor::Parameter(bias);
-  PrintRow("Affine fwd+bwd",
+  PrintRow(&rows, "Affine fwd+bwd",
            MeasureOp(iters,
                      [&] {
                        Tensor y =
@@ -133,6 +142,7 @@ void BenchKernels(int iters) {
              Sum(y).Backward();
              Sink(y.value().At(0, 0));
            }));
+  return rows;
 }
 
 struct ServeResult {
@@ -180,7 +190,7 @@ int main(int argc, char** argv) {
   const int serve_passes = smoke ? 2 : 10;
 
   std::printf("=== Memory & kernel layer (pool + fused ops) ===\n");
-  BenchKernels(kernel_iters);
+  const std::vector<KernelRow> kernel_rows = BenchKernels(kernel_iters);
 
   // End-to-end serving: the Figure 7 pipeline on an untrained model
   // (weights do not change the allocation profile).
@@ -228,8 +238,43 @@ int main(int argc, char** argv) {
               100.0 * (pooled.qps - plain.qps) / plain.qps,
               static_cast<unsigned long long>(counters.misses));
 
+  namespace bench = m2g::bench;
+  bench::JsonValue kernels_json = bench::JsonValue::Array();
+  for (const KernelRow& row : kernel_rows) {
+    kernels_json.Push(
+        bench::JsonValue::Object()
+            .Set("kernel", bench::JsonValue::String(row.name))
+            .Set("fused_ns", bench::JsonValue::Number(row.fused.ns_per_op))
+            .Set("unfused_ns",
+                 bench::JsonValue::Number(row.unfused.ns_per_op))
+            .Set("speedup", bench::JsonValue::Number(
+                                row.unfused.ns_per_op / row.fused.ns_per_op))
+            .Set("fused_bufs_per_op",
+                 bench::JsonValue::Number(row.fused.bufs_per_op))
+            .Set("unfused_bufs_per_op",
+                 bench::JsonValue::Number(row.unfused.bufs_per_op)));
+  }
+  const auto serve_json = [](const ServeResult& r) {
+    return bench::JsonValue::Object()
+        .Set("allocs_per_req", bench::JsonValue::Number(r.allocs_per_req))
+        .Set("qps", bench::JsonValue::Number(r.qps))
+        .Set("steady_misses",
+             bench::JsonValue::Int(static_cast<int64_t>(r.misses)));
+  };
+  bench::JsonValue doc =
+      bench::JsonValue::Object()
+          .Set("bench", bench::JsonValue::String("memory_kernels"))
+          .Set("mode", bench::JsonValue::String(smoke ? "smoke" : "full"))
+          .Set("kernel_iters", bench::JsonValue::Int(kernel_iters))
+          .Set("kernels", std::move(kernels_json))
+          .Set("serve_pooled", serve_json(pooled))
+          .Set("serve_plain", serve_json(plain))
+          .Set("alloc_ratio", bench::JsonValue::Number(ratio));
+  const bool json_ok =
+      bench::WriteBenchJson("BENCH_memory_kernels.json", doc);
+
   if (smoke) {
-    int failures = 0;
+    int failures = json_ok ? 0 : 1;
     if (pooled.misses != 0) {
       std::fprintf(stderr,
                    "FAIL: %llu steady-state pool misses (want 0)\n",
@@ -250,5 +295,5 @@ int main(int argc, char** argv) {
     }
     return failures == 0 ? 0 : 1;
   }
-  return 0;
+  return json_ok ? 0 : 1;
 }

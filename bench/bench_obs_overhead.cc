@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_util.h"
 #include "common/stopwatch.h"
 #include "core/model.h"
 #include "obs/export.h"
@@ -197,6 +198,21 @@ int main(int argc, char** argv) {
   } else {
     std::printf("snapshots written to m2g_metrics.prom / m2g_metrics.json\n");
   }
+
+  namespace bench = m2g::bench;
+  bench::JsonValue doc =
+      bench::JsonValue::Object()
+          .Set("bench", bench::JsonValue::String("obs_overhead"))
+          .Set("mode", bench::JsonValue::String(smoke ? "smoke" : "full"))
+          .Set("requests",
+               bench::JsonValue::Int(static_cast<int64_t>(requests.size())))
+          .Set("passes", bench::JsonValue::Int(reps * attempts))
+          .Set("on_seconds", bench::JsonValue::Number(ab.on_seconds))
+          .Set("off_seconds", bench::JsonValue::Number(ab.off_seconds))
+          .Set("overhead", bench::JsonValue::Number(ab.overhead()))
+          .Set("per_request_us", bench::JsonValue::Number(per_req_us))
+          .Set("export_check_failures", bench::JsonValue::Int(failures));
+  if (!bench::WriteBenchJson("BENCH_obs_overhead.json", doc)) ++failures;
 
   if (smoke) {
     if (ab.overhead() > budget) {

@@ -83,8 +83,26 @@ class JsonValue {
   static JsonValue String(const std::string& s) {
     std::string out = "\"";
     for (char ch : s) {
-      if (ch == '"' || ch == '\\') out += '\\';
-      out += ch;
+      switch (ch) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        case '\b': out += "\\b"; break;
+        case '\f': out += "\\f"; break;
+        default:
+          // Remaining control characters (RFC 8259 requires escaping all
+          // of U+0000..U+001F) as \u00XX; everything else verbatim.
+          if (static_cast<unsigned char>(ch) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x",
+                          static_cast<unsigned>(static_cast<unsigned char>(ch)));
+            out += buf;
+          } else {
+            out += ch;
+          }
+      }
     }
     out += '"';
     return JsonValue(Kind::kScalar, std::move(out));

@@ -58,6 +58,13 @@ struct ModelConfig {
   /// "w/o uncertainty": fixed 100:1 route:time loss weights.
   bool use_uncertainty_weighting = true;
 
+  // --- Serving ---
+  /// Route no-grad Predict() encodes through the fused fast path (an
+  /// EncodePlan per request). Outputs are bitwise-identical either way;
+  /// this is the A/B kill switch for bench_encode_fastpath and the
+  /// parity suite.
+  bool encode_fast_path = true;
+
   graph::GraphConfig graph;
 };
 

@@ -1,6 +1,7 @@
 #include "core/encoder.h"
 
 #include "common/string_util.h"
+#include "tensor/grad_mode.h"
 
 namespace m2g::core {
 
@@ -33,7 +34,16 @@ LevelEncoder::LevelEncoder(const ModelConfig& config, int continuous_dim,
 }
 
 EncodedLevel LevelEncoder::Encode(const graph::LevelGraph& level,
-                                  const Tensor& global_embed) const {
+                                  const Tensor& global_embed,
+                                  EncodePlan* plan) const {
+  if (plan != nullptr && use_graph_ && !GradMode::enabled()) {
+    return EncodeFast(level, global_embed, plan);
+  }
+  return EncodeLegacy(level, global_embed);
+}
+
+EncodedLevel LevelEncoder::EncodeLegacy(const graph::LevelGraph& level,
+                                        const Tensor& global_embed) const {
   Tensor nodes = feature_embed_->EmbedNodes(level);
   // Concatenate the global/courier vector onto every node (§IV-B).
   nodes = input_proj_->Forward(
@@ -43,6 +53,39 @@ EncodedLevel LevelEncoder::Encode(const graph::LevelGraph& level,
     return EncodeWithGat(nodes, edges, level.adjacency);
   }
   return {EncodeWithBiLstm(nodes), Tensor()};
+}
+
+EncodedLevel LevelEncoder::EncodeFast(const graph::LevelGraph& level,
+                                      const Tensor& global_embed,
+                                      EncodePlan* plan) const {
+  M2G_CHECK(use_graph_);
+  M2G_CHECK(!GradMode::enabled());
+  M2G_CHECK_GE(plan->max_nodes, level.n);
+  // Embeddings and the input projection stay on the op layer: under
+  // no-grad they already fold to constants, and they are O(n d^2) —
+  // fusing them would not move the n^2 d^2 needle the GAT stack does.
+  Tensor nodes = feature_embed_->EmbedNodes(level);
+  nodes = input_proj_->Forward(
+      ConcatCols(nodes, BroadcastRows(global_embed, level.n)));
+  Tensor edges = feature_embed_->EmbedEdges(level);
+  // Running representations, mutated in place across layers; the copies
+  // draw from the pool and become the returned tensors' storage.
+  Matrix h = nodes.value();
+  Matrix z = edges.value();
+  const size_t nd = h.size();
+  const size_t nnd = z.size();
+  for (const auto& layer : layers_) {
+    layer->ForwardFast(h, z, level.adjacency, plan);
+    // Residuals in place: the same elementwise ascending order as the
+    // legacy Add's copy + AddInPlace, minus the copies.
+    float* hd = h.data();
+    const float* no = plan->node_out.data();
+    for (size_t t = 0; t < nd; ++t) hd[t] += no[t];
+    float* zd = z.data();
+    const float* eo = plan->edge_out.data();
+    for (size_t t = 0; t < nnd; ++t) zd[t] += eo[t];
+  }
+  return {Tensor::Constant(std::move(h)), Tensor::Constant(std::move(z))};
 }
 
 EncodedLevel LevelEncoder::EncodeWithGat(

@@ -32,8 +32,28 @@ class LevelEncoder : public nn::Module {
  public:
   LevelEncoder(const ModelConfig& config, int continuous_dim, Rng* rng);
 
+  /// Encodes one level. With a non-null `plan`, the GAT-e variant
+  /// configured, and gradients disabled on the calling thread, the
+  /// fused no-grad fast path (EncodeFast) runs through the plan's
+  /// scratch; every other combination dispatches to EncodeLegacy. The
+  /// two paths are bitwise-identical (encode_parity_test).
   EncodedLevel Encode(const graph::LevelGraph& level,
-                      const Tensor& global_embed) const;
+                      const Tensor& global_embed,
+                      EncodePlan* plan = nullptr) const;
+
+  /// Reference autograd path: the training encode, and the baseline the
+  /// parity suite and bench_encode_fastpath A/B against.
+  EncodedLevel EncodeLegacy(const graph::LevelGraph& level,
+                            const Tensor& global_embed) const;
+
+  /// Fused no-grad fast path: embeddings and the input projection run
+  /// through the (constant-folded) ops, then every GAT-e layer through
+  /// GatELayer::ForwardFast with in-place residuals on pool-backed
+  /// buffers — zero autograd nodes and zero (n^2, d) op temporaries.
+  /// Requires GradMode disabled and the GAT-e variant.
+  EncodedLevel EncodeFast(const graph::LevelGraph& level,
+                          const Tensor& global_embed,
+                          EncodePlan* plan) const;
 
  private:
   EncodedLevel EncodeWithGat(const Tensor& nodes, const Tensor& edges,

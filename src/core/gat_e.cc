@@ -1,9 +1,28 @@
 #include "core/gat_e.h"
 
+#include <algorithm>
+
 #include "common/string_util.h"
 #include "nn/init.h"
+#include "obs/metrics.h"
+#include "tensor/grad_mode.h"
 
 namespace m2g::core {
+namespace {
+
+obs::Counter& FastLayerCounter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().counter("encode.fast_layers");
+  return c;
+}
+
+obs::Counter& LegacyLayerCounter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().counter("encode.legacy_layers");
+  return c;
+}
+
+}  // namespace
 
 GatELayer::GatELayer(const ModelConfig& config, bool is_last, Rng* rng)
     : hidden_dim_(config.hidden_dim),
@@ -40,6 +59,7 @@ GatEOutput GatELayer::Forward(const Tensor& nodes, const Tensor& edges,
   M2G_CHECK_EQ(nodes.cols(), hidden_dim_);
   M2G_CHECK_EQ(edges.rows(), n * n);
   M2G_CHECK_EQ(adjacency.size(), static_cast<size_t>(n) * n);
+  LegacyLayerCounter().Increment();
 
   // Pair index vectors for the edge update (Eq. 23): row i*n+j pairs
   // node i with node j.
@@ -118,6 +138,118 @@ GatEOutput GatELayer::Forward(const Tensor& nodes, const Tensor& edges,
     out.edges = edges_cat;
   }
   return out;
+}
+
+void GatELayer::ForwardFast(const Matrix& nodes, const Matrix& edges,
+                            const std::vector<bool>& adjacency,
+                            EncodePlan* plan) const {
+  const int n = nodes.rows();
+  const int d = hidden_dim_;
+  const int dh = head_dim_;
+  M2G_CHECK(!GradMode::enabled());
+  M2G_CHECK_EQ(nodes.cols(), d);
+  M2G_CHECK_EQ(edges.rows(), n * n);
+  M2G_CHECK_EQ(edges.cols(), d);
+  M2G_CHECK_EQ(adjacency.size(), static_cast<size_t>(n) * n);
+  M2G_CHECK_GE(plan->max_nodes, n);
+  M2G_CHECK_EQ(plan->hidden_dim, d);
+  FastLayerCounter().Increment();
+
+  const int nn = n * n;
+  float* node_out = plan->node_out.data();
+  float* edge_out = plan->edge_out.data();
+
+  for (int p = 0; p < num_heads_; ++p) {
+    const Head& head = heads_[p];
+    // Eq. 20 terms, one fused product each, packed at stride dh. The
+    // (1,)-wide products take AccumulateRowMatMul's branchy path — the
+    // same path MatMulRaw picked for them on the legacy graph.
+    MatMulInto(nodes.data(), n, d, head.w1.value().data(), dh,
+               plan->wh.data());
+    MatMulInto(plan->wh.data(), n, dh, head.av_src.value().data(), 1,
+               plan->s_src.data());
+    MatMulInto(plan->wh.data(), n, dh, head.av_dst.value().data(), 1,
+               plan->s_dst.data());
+    MatMulInto(edges.data(), nn, d, head.ae.value().data(), 1,
+               plan->s_edge.data());
+    MatMulInto(nodes.data(), n, d, head.w2.value().data(), dh,
+               plan->msg.data());
+    // Eq. 23 node terms, hoisted out of the n^2 edge loop: the legacy
+    // MatMul(GatherRows(nodes, idx), W) accumulates every gathered row
+    // from zero, so its row (i, j) is bit-identical to row i of
+    // nodes * W — two (n, dh) products replace two (n^2, dh) ones.
+    MatMulInto(nodes.data(), n, d, head.w4.value().data(), dh,
+               plan->nw4.data());
+    MatMulInto(nodes.data(), n, d, head.w5.value().data(), dh,
+               plan->nw5.data());
+
+    const bool last = is_last_;
+    // Hidden layers write head p's columns of the concat epilogue
+    // (Eq. 24/25) in place; the last layer averages full-width heads, so
+    // head 0 seeds the accumulator and later heads add row by row — the
+    // sequential elementwise adds of the legacy epilogue (Eq. 26).
+    const int col0 = last ? 0 : p * dh;
+
+    // Attention rows: logits -> masked softmax -> aggregation, fused
+    // (Eq. 20-22), no (1, n) or (1, dh) temporaries.
+    for (int i = 0; i < n; ++i) {
+      const size_t base = static_cast<size_t>(i) * n;
+      GatLogitsRow(plan->s_dst.data(), plan->s_edge.data() + base,
+                   plan->s_src.data()[i], leaky_slope_, n,
+                   plan->logits.data());
+      MaskedSoftmaxRowRaw(plan->logits.data(), adjacency, base, n,
+                          plan->alpha.data());
+      float* dst = (last && p > 0)
+                       ? plan->row.data()
+                       : node_out + static_cast<size_t>(i) * d + col0;
+      std::fill(dst, dst + dh, 0.0f);
+      AccumulateRowMatMul(plan->alpha.data(), n, plan->msg.data(), dh, dst);
+      if (!last) {
+        for (int c = 0; c < dh; ++c) dst[c] = dst[c] > 0.0f ? dst[c] : 0.0f;
+      } else if (p > 0) {
+        float* acc = node_out + static_cast<size_t>(i) * d;
+        for (int c = 0; c < dh; ++c) acc[c] += dst[c];
+      }
+    }
+
+    // Edge updates (Eq. 23/25): z' = ReLU(z W3 + (nw4_i + nw5_j)),
+    // keeping the legacy association order ew3 + (w4-term + w5-term).
+    for (int i = 0; i < n; ++i) {
+      const float* nw4_row = plan->nw4.data() + static_cast<size_t>(i) * dh;
+      for (int j = 0; j < n; ++j) {
+        const size_t r = static_cast<size_t>(i) * n + j;
+        const float* nw5_row =
+            plan->nw5.data() + static_cast<size_t>(j) * dh;
+        float* dst = (last && p > 0) ? plan->row.data()
+                                     : edge_out + r * d + col0;
+        std::fill(dst, dst + dh, 0.0f);
+        AccumulateRowMatMul(edges.data() + r * d, d,
+                            head.w3.value().data(), dh, dst);
+        for (int c = 0; c < dh; ++c) {
+          const float t = nw4_row[c] + nw5_row[c];
+          const float v = dst[c] + t;
+          dst[c] = v > 0.0f ? v : 0.0f;
+        }
+        if (last && p > 0) {
+          float* acc = edge_out + r * d;
+          for (int c = 0; c < dh; ++c) acc[c] += dst[c];
+        }
+      }
+    }
+  }
+
+  if (is_last_) {
+    // Eq. 26 epilogue: scale the head sums by 1/P, then the delayed node
+    // ReLU (edges average without an extra activation).
+    const float inv = 1.0f / static_cast<float>(num_heads_);
+    for (size_t t = 0, end = static_cast<size_t>(n) * d; t < end; ++t) {
+      const float v = node_out[t] * inv;
+      node_out[t] = v > 0.0f ? v : 0.0f;
+    }
+    for (size_t t = 0, end = static_cast<size_t>(nn) * d; t < end; ++t) {
+      edge_out[t] *= inv;
+    }
+  }
 }
 
 }  // namespace m2g::core

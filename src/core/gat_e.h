@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/config.h"
+#include "core/encode_plan.h"
 #include "nn/module.h"
 #include "tensor/ops.h"
 
@@ -27,9 +28,22 @@ class GatELayer : public nn::Module {
   GatELayer(const ModelConfig& config, bool is_last, Rng* rng);
 
   /// `adjacency` is the n*n Eq. 15 connectivity (with self-loops); the
-  /// attention softmax for node i runs over {j : adj[i*n+j]}.
+  /// attention softmax for node i runs over {j : adj[i*n+j]}. This is
+  /// the autograd path (training, and the fast path's parity reference);
+  /// it increments encode.legacy_layers.
   GatEOutput Forward(const Tensor& nodes, const Tensor& edges,
                      const std::vector<bool>& adjacency) const;
+
+  /// No-grad fast path: writes Forward(...)'s out.nodes into the first n
+  /// rows of plan->node_out and out.edges into the first n*n rows of
+  /// plan->edge_out — bit for bit — through fused raw kernels, with no
+  /// autograd nodes and no (n^2, d) per-head temporaries (the Eq. 23
+  /// node terms are hoisted to two (n, dh) products, and attention rows
+  /// aggregate straight into the packed multi-head output). Requires
+  /// GradMode disabled; increments encode.fast_layers.
+  void ForwardFast(const Matrix& nodes, const Matrix& edges,
+                   const std::vector<bool>& adjacency,
+                   EncodePlan* plan) const;
 
  private:
   struct Head {

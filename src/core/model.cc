@@ -1,10 +1,13 @@
 #include "core/model.h"
 
 #include <algorithm>
+#include <optional>
 
+#include "core/encode_plan.h"
 #include "graph/features.h"
 #include "nn/serialize.h"
 #include "obs/trace.h"
+#include "tensor/grad_mode.h"
 
 namespace m2g::core {
 namespace {
@@ -193,9 +196,23 @@ RtpPrediction M2g4Rtp::Predict(const synth::Sample& sample) const {
   EncodedLevel aoi_enc;
   {
     obs::TraceSpan span("serve.stage.encode.ms", &encode_hist);
+    // One pool-backed plan serves both levels' fused encodes. Under grad
+    // mode, the BiLSTM ablation, or the kill switch, Encode dispatches
+    // to the legacy path instead (same bits either way).
+    std::optional<EncodePlan> plan;
+    if (config_.encode_fast_path && config_.use_graph_encoder &&
+        !GradMode::enabled()) {
+      const int max_n = config_.use_aoi_level
+                            ? std::max(g.location.n, g.aoi.n)
+                            : g.location.n;
+      plan.emplace(max_n, config_.hidden_dim);
+    }
+    EncodePlan* plan_ptr = plan.has_value() ? &*plan : nullptr;
     u = global_embed_->Embed(sample);
-    loc_enc = location_encoder_->Encode(g.location, u);
-    if (config_.use_aoi_level) aoi_enc = aoi_encoder_->Encode(g.aoi, u);
+    loc_enc = location_encoder_->Encode(g.location, u, plan_ptr);
+    if (config_.use_aoi_level) {
+      aoi_enc = aoi_encoder_->Encode(g.aoi, u, plan_ptr);
+    }
   }
   const Tensor& x_l = loc_enc.nodes;
 

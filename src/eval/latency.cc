@@ -13,7 +13,11 @@ std::string ComplexityFormula(const std::string& method) {
   // The neural methods share AttentionRouteDecoder, whose request-scoped
   // key cache computes the O(N F^2) pointer projection once instead of
   // per step, so every decode term is N^2 F (N steps of O(N F) scoring)
-  // rather than the naive N^2 F^2.
+  // rather than the naive N^2 F^2. M2G4RTP's encode term E F^2 (E = N^2
+  // dense edges per level) keeps its complexity class on the fused
+  // no-grad fast path, but the gather-free edge update drops the
+  // constant from ~3 E F^2 (three gathered endpoint matmuls) to E F^2
+  // plus an O(N F^2) hoist, with no (E, F) temporaries.
   if (method == "Distance-Greedy" || method == "Time-Greedy") {
     return "O(N log N)";
   }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <limits>
 
 #include "common/string_util.h"
 
@@ -275,6 +276,49 @@ void PointerScoresMasked(const Matrix& keys, const float* q, const float* v,
     if (!mask[i]) continue;
     scores[i] =
         PointerScoreRow(keys.data() + static_cast<size_t>(i) * d, q, v, d);
+  }
+}
+
+void MatMulInto(const float* a, int n, int k, const float* b, int m,
+                float* out) {
+  std::fill(out, out + static_cast<size_t>(n) * m, 0.0f);
+  for (int i = 0; i < n; ++i) {
+    AccumulateRowMatMul(a + static_cast<size_t>(i) * k, k, b, m,
+                        out + static_cast<size_t>(i) * m);
+  }
+}
+
+void GatLogitsRow(const float* s_dst, const float* s_edge_row, float s_src_i,
+                  float slope, int n, float* logits) {
+  for (int j = 0; j < n; ++j) {
+    // (s_dst[j] + s_e[ij]) first, then + s_src[i]: the Add node ran
+    // before the AddScalarTensor node on the legacy path.
+    const float t = s_dst[j] + s_edge_row[j];
+    const float pre = t + s_src_i;
+    logits[j] = pre > 0.0f ? pre : slope * pre;
+  }
+}
+
+void MaskedSoftmaxRowRaw(const float* logits, const std::vector<bool>& mask,
+                         size_t base, int n, float* alpha) {
+  float max_v = -std::numeric_limits<float>::infinity();
+  bool any = false;
+  for (int j = 0; j < n; ++j) {
+    if (mask[base + j]) {
+      any = true;
+      max_v = std::max(max_v, logits[j]);
+    }
+  }
+  M2G_CHECK_MSG(any, "MaskedSoftmaxRowRaw: all positions masked");
+  double denom = 0;
+  for (int j = 0; j < n; ++j) {
+    if (mask[base + j]) {
+      alpha[j] = std::exp(logits[j] - max_v);
+      denom += alpha[j];
+    }
+  }
+  for (int j = 0; j < n; ++j) {
+    alpha[j] = mask[base + j] ? static_cast<float>(alpha[j] / denom) : 0.0f;
   }
 }
 

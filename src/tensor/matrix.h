@@ -181,6 +181,37 @@ float PointerScoreRow(const float* keys_row, const float* q, const float* v,
 void PointerScoresMasked(const Matrix& keys, const float* q, const float* v,
                          const std::vector<bool>& mask, float* scores);
 
+// ---------------------------------------------------------------------------
+// Raw kernels for the encode fast path (GAT-e, Eq. 20-26). Like the decode
+// kernels above, each replicates the exact float semantics of the op
+// composition it replaces, so the fused encoder is bitwise-identical to
+// the autograd path (encode_parity_test pins this).
+// ---------------------------------------------------------------------------
+
+/// out = a * b written into caller scratch: a is (n, k) row-major, b is
+/// (k, m) row-major, out is (n, m) row-major and fully overwritten.
+/// Bitwise-identical to MatMulRaw (zeroed accumulators, the same per-row
+/// AccumulateRowMatMul order) — only the output allocation moves to the
+/// caller, which lets a request-scoped plan pack per-head results at
+/// arbitrary strides without per-call Matrix temporaries.
+void MatMulInto(const float* a, int n, int k, const float* b, int m,
+                float* out);
+
+/// Fused GAT-e attention logits for one node row (Eq. 20 decomposed):
+///   logits[j] = LeakyRelu((s_dst[j] + s_edge_row[j]) + s_src_i)
+/// with the association order of the Add -> AddScalarTensor -> LeakyRelu
+/// chain it replaces (pure float additions, so no contraction hazard).
+void GatLogitsRow(const float* s_dst, const float* s_edge_row, float s_src_i,
+                  float slope, int n, float* logits);
+
+/// MaskedSoftmaxRow's forward on raw buffers (Eq. 21): float max over the
+/// unmasked logits, float-stored exponentials, a double denominator
+/// accumulated in ascending order over the unmasked entries, then
+/// float(exp / denom); masked entries get exact zeros. The mask is row i
+/// of a row-major (n, n) adjacency, read at offset `base`.
+void MaskedSoftmaxRowRaw(const float* logits, const std::vector<bool>& mask,
+                         size_t base, int n, float* alpha);
+
 }  // namespace m2g
 
 #endif  // M2G_TENSOR_MATRIX_H_

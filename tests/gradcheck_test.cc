@@ -482,6 +482,56 @@ TEST_P(GradCheckTest, TransposeFreeKernelsBitwiseMatchTransposed) {
   }
 }
 
+// The encode fast path's raw kernels (matrix.h) vs the op compositions
+// GatELayer::Forward builds: bit-for-bit, including the m == 1 attention
+// projections (which must take AccumulateRowMatMul's branchy path exactly
+// like the op-layer MatMul does) and softmax rows addressed through a
+// `base` offset into the full adjacency mask.
+TEST_P(GradCheckTest, EncodeFastPathRawKernelsBitwiseMatchOps) {
+  Rng rng(31);
+  for (int t = 0; t < 5; ++t) {
+    const int n = rng.UniformInt(1, 9), k = rng.UniformInt(1, 9),
+              m = (t % 2 == 0) ? 1 : rng.UniformInt(1, 9);
+    Matrix a = Matrix::Random(n, k, -2.0f, 2.0f, &rng);
+    Matrix b = Matrix::Random(k, m, -2.0f, 2.0f, &rng);
+    Matrix out = Matrix::Uninit(n, m);
+    MatMulInto(a.data(), n, k, b.data(), m, out.data());
+    ExpectBitEqual(out, MatMulRaw(a, b), "MatMulInto");
+
+    // Eq. 20: c_ij = LeakyReLU(s_dst[j] + s_e[ij] + s_src[i]), in the
+    // exact association order of Add -> AddScalarTensor -> LeakyRelu.
+    Matrix s_dst = Matrix::Random(1, n, -2.0f, 2.0f, &rng);
+    Matrix s_e = Matrix::Random(1, n, -2.0f, 2.0f, &rng);
+    Matrix s_src = Matrix::Random(1, 1, -2.0f, 2.0f, &rng);
+    const float slope = 0.2f;
+    Tensor reference = LeakyRelu(
+        AddScalarTensor(Add(Tensor::Constant(s_dst), Tensor::Constant(s_e)),
+                        Tensor::Constant(s_src)),
+        slope);
+    Matrix logits = Matrix::Uninit(1, n);
+    GatLogitsRow(s_dst.data(), s_e.data(), s_src[0], slope, n,
+                 logits.data());
+    ExpectBitEqual(logits, reference.value(), "GatLogitsRow");
+
+    // Masked softmax over row `row` of a (rows, n) mask — the raw kernel
+    // reads through `base` where the op takes a pre-sliced mask.
+    const int rows = 3;
+    std::vector<bool> mask(static_cast<size_t>(rows) * n, false);
+    const int row = rng.UniformInt(0, rows - 1);
+    const size_t base = static_cast<size_t>(row) * n;
+    mask[base + rng.UniformInt(0, n - 1)] = true;  // >= 1 unmasked
+    for (int j = 0; j < n; ++j) {
+      if (rng.Bernoulli(0.5)) mask[base + j] = true;
+    }
+    std::vector<bool> row_mask(mask.begin() + base, mask.begin() + base + n);
+    Tensor alpha_ref =
+        MaskedSoftmaxRow(Tensor::Constant(logits), row_mask);
+    Matrix alpha = Matrix::Uninit(1, n);
+    MaskedSoftmaxRowRaw(logits.data(), mask, base, n, alpha.data());
+    ExpectBitEqual(alpha, alpha_ref.value(), "MaskedSoftmaxRowRaw");
+  }
+}
+
 // Pooled vs plain storage: same seed, same little training computation,
 // byte-identical parameters afterwards. (The system-level version of
 // this — full model training — lives in the integration suite; this one
