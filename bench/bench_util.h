@@ -1,6 +1,7 @@
 #ifndef M2G_BENCH_BENCH_UTIL_H_
 #define M2G_BENCH_BENCH_UTIL_H_
 
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -68,6 +69,10 @@ class JsonValue {
   static JsonValue Object() { return JsonValue(Kind::kObject); }
   static JsonValue Array() { return JsonValue(Kind::kArray); }
   static JsonValue Number(double v) {
+    // RFC 8259 has no NaN/Infinity literals; "%.10g" would emit bare
+    // nan/inf and corrupt the BENCH_*.json artifact. null is the closest
+    // representable value.
+    if (!std::isfinite(v)) return JsonValue(Kind::kScalar, "null");
     char buf[32];
     std::snprintf(buf, sizeof(buf), "%.10g", v);
     return JsonValue(Kind::kScalar, buf);

@@ -55,6 +55,18 @@ class LevelEncoder : public nn::Module {
                           const Tensor& global_embed,
                           EncodePlan* plan) const;
 
+  /// Micro-batched fast path: EncodeFast for every (level, global_embed)
+  /// pair through one shared plan page set — each request owns page s,
+  /// and the GAT-e layers run in cross-request head-lockstep
+  /// (GatELayer::ForwardFastBatch), streaming each weight once per batch.
+  /// Result s is bitwise-identical to EncodeFast(levels[s],
+  /// *global_embeds[s], plan). Requires GradMode disabled, the GAT-e
+  /// variant, and levels.size() <= plan->batch_capacity.
+  std::vector<EncodedLevel> EncodeFastBatch(
+      const std::vector<const graph::LevelGraph*>& levels,
+      const std::vector<const Tensor*>& global_embeds,
+      EncodePlan* plan) const;
+
  private:
   EncodedLevel EncodeWithGat(const Tensor& nodes, const Tensor& edges,
                              const std::vector<bool>& adjacency) const;

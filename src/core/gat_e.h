@@ -17,6 +17,16 @@ struct GatEOutput {
   Tensor edges;  // (n*n, hidden_dim)
 };
 
+/// One request's slice of a batched fast forward: the layer inputs plus
+/// the index of the EncodePlan page set that holds its scratch and
+/// output pages.
+struct GatEFastItem {
+  const Matrix* nodes = nullptr;             // (n, d)
+  const Matrix* edges = nullptr;             // (n*n, d)
+  const std::vector<bool>* adjacency = nullptr;
+  int page = 0;                              // plan page owned by this item
+};
+
 /// The paper's GAT-e module (Eq. 20-26): an edge-aware graph attention
 /// layer that (a) mixes edge embeddings into the attention coefficients
 /// via the a_e term and (b) updates edge representations from the incident
@@ -44,6 +54,17 @@ class GatELayer : public nn::Module {
   void ForwardFast(const Matrix& nodes, const Matrix& edges,
                    const std::vector<bool>& adjacency,
                    EncodePlan* plan) const;
+
+  /// Cross-request batched fast path: ForwardFast for every item of a
+  /// micro-batch through one shared plan page set, in head-lockstep —
+  /// the per-head weight streams (W1..W5, a_v, a_e) are traversed once
+  /// per batch (MatMulManyInto) instead of once per request, and each
+  /// item's arithmetic is untouched, so item i's output pages hold
+  /// exactly the bits ForwardFast(item i) would have produced.
+  /// ForwardFast is the single-item special case of this entry point.
+  /// Requires GradMode disabled and distinct pages < plan->batch_capacity.
+  void ForwardFastBatch(const std::vector<GatEFastItem>& items,
+                        EncodePlan* plan) const;
 
  private:
   struct Head {

@@ -53,6 +53,23 @@ class M2g4Rtp : public nn::Module {
   /// Greedy joint prediction (§IV-D).
   RtpPrediction Predict(const synth::Sample& sample) const;
 
+  /// Micro-batched prediction for the serving layer: result s is
+  /// bitwise-identical to Predict(*samples[s]) for every sample
+  /// (serve_test parity suite). With the fast encode path active the
+  /// batch shares one EncodePlan page set and the GAT-e weight streams
+  /// are traversed once per batch (EncodeFastBatch); decode and ETA
+  /// heads run per sample, exactly Predict's tail. Under grad mode, the
+  /// encode_fast_path kill switch, the BiLSTM ablation, or a
+  /// single-sample batch, this is a plain Predict loop.
+  ///
+  /// `plan_capacity_hint`, when >= samples.size(), pre-sizes the plan's
+  /// page count — the batch scheduler passes its max batch size so the
+  /// pooled plan buffers keep one size class across variable batch
+  /// compositions (deterministic pool reuse at steady state).
+  std::vector<RtpPrediction> PredictBatch(
+      const std::vector<const synth::Sample*>& samples,
+      int plan_capacity_hint = 0) const;
+
   const ModelConfig& config() const { return config_; }
   const UncertaintyLoss& uncertainty() const { return *uncertainty_; }
 
@@ -76,6 +93,14 @@ class M2g4Rtp : public nn::Module {
                              const std::vector<int>& loc_to_aoi,
                              const std::vector<int>& aoi_route,
                              const std::vector<Tensor>& aoi_times) const;
+
+  /// Predict's decode + ETA tail, shared with PredictBatch: beam decode
+  /// and SortLSTM heads over already-encoded levels, with the
+  /// serve.stage.route_decode/eta_head spans.
+  RtpPrediction DecodeWithEncodings(const synth::Sample& sample,
+                                    const Tensor& u,
+                                    const EncodedLevel& loc_enc,
+                                    const EncodedLevel& aoi_enc) const;
 
   ModelConfig config_;
   float guidance_sampling_prob_ = 1.0f;

@@ -1,0 +1,157 @@
+#include "serve/batch_scheduler.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "tensor/grad_mode.h"
+#include "tensor/pool.h"
+
+namespace m2g::serve {
+namespace {
+
+obs::Histogram& BatchSizeHistogram() {
+  static obs::Histogram& h = obs::MetricsRegistry::Global().histogram(
+      "serve.batch.size", {1, 2, 4, 8, 16, 32, 64});
+  return h;
+}
+
+obs::Counter& ShedCounter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().counter("serve.batch.sheds");
+  return c;
+}
+
+}  // namespace
+
+BatchScheduler::BatchScheduler(const ModelRegistry* registry,
+                               const core::M2g4Rtp* fallback_model,
+                               const BatchConfig& config)
+    : registry_(registry), fallback_model_(fallback_model), config_(config) {
+  M2G_CHECK(registry_ != nullptr || fallback_model_ != nullptr);
+  M2G_CHECK_GE(config_.max_batch_size, 1);
+  M2G_CHECK_GE(config_.max_linger_us, 0);
+  M2G_CHECK_GE(config_.max_queue_depth, 1);
+}
+
+BatchResult BatchScheduler::Submit(synth::Sample sample) {
+  Slot slot;
+  slot.sample = std::move(sample);
+
+  std::unique_lock<std::mutex> lock(mu_);
+  if (static_cast<int>(queue_.size()) >= config_.max_queue_depth) {
+    lock.unlock();
+    sheds_.fetch_add(1, std::memory_order_relaxed);
+    ShedCounter().Increment();
+    return ExecuteSingle(std::move(slot.sample));
+  }
+  queue_.push_back(&slot);
+  // Wake the leader only while it lingers: a fuller batch may dispatch
+  // early. Waking sleeping followers here would just burn context
+  // switches on a busy box.
+  if (leader_lingering_) cv_.notify_all();
+  while (true) {
+    if (slot.done) return std::move(slot.result);
+    if (!leader_active_ && !slot.taken) {
+      leader_active_ = true;
+      LeadLoop(lock, &slot);
+      M2G_CHECK(slot.done);
+      return std::move(slot.result);
+    }
+    cv_.wait(lock);
+  }
+}
+
+void BatchScheduler::LeadLoop(std::unique_lock<std::mutex>& lock,
+                              Slot* mine) {
+  static obs::Histogram& linger_hist =
+      obs::StageHistogram("serve.batch.linger.ms");
+  while (!mine->done) {
+    {
+      // Linger for stragglers; a full queue dispatches immediately.
+      obs::TraceSpan span("serve.batch.linger.ms", &linger_hist);
+      const auto deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::microseconds(config_.max_linger_us);
+      leader_lingering_ = true;
+      while (static_cast<int>(queue_.size()) < config_.max_batch_size &&
+             cv_.wait_until(lock, deadline) != std::cv_status::timeout) {
+      }
+      leader_lingering_ = false;
+    }
+    std::vector<Slot*> batch;
+    const int take = std::min(static_cast<int>(queue_.size()),
+                              config_.max_batch_size);
+    batch.reserve(take);
+    for (int i = 0; i < take; ++i) {
+      Slot* s = queue_.front();
+      queue_.pop_front();
+      s->taken = true;
+      batch.push_back(s);
+    }
+    lock.unlock();
+    ExecuteBatch(batch);
+    lock.lock();
+    for (Slot* s : batch) s->done = true;
+    cv_.notify_all();
+  }
+  // Abdicate; any queued submitter may elect itself leader.
+  leader_active_ = false;
+  cv_.notify_all();
+}
+
+void BatchScheduler::ExecuteBatch(const std::vector<Slot*>& batch) {
+  BatchSizeHistogram().Record(static_cast<double>(batch.size()));
+  // The leader's thread does the whole batch's tensor work: no-grad,
+  // one arena scope, so every forward-pass buffer recycles through this
+  // thread's pool.
+  NoGradGuard no_grad;
+  ArenaGuard arena;
+
+  // One registry read per batch: a concurrent Publish lands between
+  // batches, never inside one, and every request of this batch is tagged
+  // with the version that actually served it.
+  std::shared_ptr<const ModelSnapshot> snapshot;
+  const core::M2g4Rtp* model = fallback_model_;
+  int64_t version = 0;
+  if (registry_ != nullptr) {
+    snapshot = registry_->Current();
+    model = snapshot->model.get();
+    version = snapshot->version;
+  }
+
+  // The whole batch runs through one PredictBatch call: mixed request
+  // shapes share the plan page set (sized to the batch max; per-sample
+  // bits are untouched by oversized scratch, so parity holds — the
+  // serve_test parity suite covers mixed-size batches).
+  std::vector<const synth::Sample*> samples;
+  samples.reserve(batch.size());
+  for (Slot* s : batch) samples.push_back(&s->sample);
+  std::vector<core::RtpPrediction> preds =
+      model->PredictBatch(samples, config_.max_batch_size);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    batch[i]->result.prediction = std::move(preds[i]);
+    batch[i]->result.sample = std::move(batch[i]->sample);
+    batch[i]->result.model_version = version;
+  }
+}
+
+BatchResult BatchScheduler::ExecuteSingle(synth::Sample sample) const {
+  NoGradGuard no_grad;
+  ArenaGuard arena;
+  std::shared_ptr<const ModelSnapshot> snapshot;
+  const core::M2g4Rtp* model = fallback_model_;
+  BatchResult result;
+  if (registry_ != nullptr) {
+    snapshot = registry_->Current();
+    model = snapshot->model.get();
+    result.model_version = snapshot->version;
+  }
+  result.prediction = model->Predict(sample);
+  result.sample = std::move(sample);
+  return result;
+}
+
+}  // namespace m2g::serve

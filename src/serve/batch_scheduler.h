@@ -1,0 +1,115 @@
+#ifndef M2G_SERVE_BATCH_SCHEDULER_H_
+#define M2G_SERVE_BATCH_SCHEDULER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/model.h"
+#include "serve/model_registry.h"
+#include "synth/dataset.h"
+
+namespace m2g::serve {
+
+/// Tuning knobs for the request batcher. The defaults suit a handful of
+/// concurrent submitters: a full batch dispatches immediately, a lone
+/// request waits at most `max_linger_us` for company.
+struct BatchConfig {
+  /// Largest micro-batch handed to M2g4Rtp::PredictBatch (also its plan
+  /// capacity hint, so pooled plan pages keep one size class).
+  int max_batch_size = 8;
+  /// How long an under-full batch lingers for more arrivals before
+  /// dispatching anyway. Bounds added latency under light load.
+  int max_linger_us = 200;
+  /// Submission-queue bound. At the bound, Submit sheds to an inline
+  /// single-request execution (serve.batch.sheds) instead of queueing —
+  /// overload degrades to the unbatched path, it never deadlocks.
+  int max_queue_depth = 256;
+};
+
+/// One served request's outputs, handed back to the submitting thread.
+struct BatchResult {
+  core::RtpPrediction prediction;
+  /// The submitter's sample, moved through the batch and back (callers
+  /// need the node ordering; it is never copied along the way).
+  synth::Sample sample;
+  /// Version of the ModelSnapshot that produced `prediction` (0 when the
+  /// scheduler runs on a fixed model with no registry).
+  int64_t model_version = 0;
+};
+
+/// Coalesces concurrent Submit() calls into micro-batches using the
+/// leader/follower protocol: every submitter enqueues its slot; the
+/// first submitter that finds no active leader becomes the leader,
+/// lingers briefly for stragglers, pops up to max_batch_size slots FIFO,
+/// and drives M2g4Rtp::PredictBatch for everyone — same-shaped requests
+/// share one group so each group's plan page set is traversed once. The
+/// remaining submitters sleep until their slot is marked done. No
+/// dedicated worker thread exists: an idle service costs nothing, and a
+/// single uncontended Submit degenerates to one queue push + one pop +
+/// an unbatched predict on the calling thread.
+///
+/// Batched responses are bitwise-identical to sequential
+/// Predict() — PredictBatch guarantees it per sample (serve_test).
+///
+/// Reads the model through a ModelRegistry when one is given — one
+/// snapshot read per batch, so a hot swap lands between batches and every
+/// request of a batch is tagged with the version that actually served it.
+class BatchScheduler {
+ public:
+  /// Exactly one of `registry` / `fallback_model` may be null. Both must
+  /// outlive the scheduler.
+  BatchScheduler(const ModelRegistry* registry,
+                 const core::M2g4Rtp* fallback_model,
+                 const BatchConfig& config);
+
+  /// Blocks until the sample's prediction is ready (computed either by
+  /// this thread as batch leader, or by a concurrent submitter's batch).
+  BatchResult Submit(synth::Sample sample);
+
+  /// Submissions that bypassed the queue because it was full.
+  uint64_t sheds() const { return sheds_.load(std::memory_order_relaxed); }
+
+ private:
+  /// One submitter's parking spot, stack-allocated in Submit. The leader
+  /// may touch a foreign slot only between popping it (`taken`) and
+  /// marking it `done` under the lock — after that the submitter is free
+  /// to move the result out and destroy the slot.
+  struct Slot {
+    synth::Sample sample;
+    BatchResult result;
+    bool taken = false;
+    bool done = false;
+  };
+
+  /// Runs batches (lock held on entry/exit) until `mine` is done, then
+  /// abdicates. `mine` is always in the first popped batch unless more
+  /// than a full batch of earlier arrivals is queued ahead of it.
+  void LeadLoop(std::unique_lock<std::mutex>& lock, Slot* mine);
+
+  /// Executes one popped batch. Called WITHOUT the lock: the only slots
+  /// it touches are `taken` ones no other thread may access.
+  void ExecuteBatch(const std::vector<Slot*>& batch);
+
+  /// Queue-full shed path: unbatched predict on the calling thread.
+  BatchResult ExecuteSingle(synth::Sample sample) const;
+
+  const ModelRegistry* registry_;
+  const core::M2g4Rtp* fallback_model_;
+  const BatchConfig config_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Slot*> queue_;
+  bool leader_active_ = false;
+  bool leader_lingering_ = false;
+  std::atomic<uint64_t> sheds_{0};
+};
+
+}  // namespace m2g::serve
+
+#endif  // M2G_SERVE_BATCH_SCHEDULER_H_

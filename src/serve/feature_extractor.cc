@@ -9,8 +9,25 @@
 namespace m2g::serve {
 
 synth::Sample FeatureExtractor::BuildSample(const RtpRequest& request) const {
-  M2G_CHECK(!request.pending.empty());
   synth::Sample s;
+  BuildSample(request, &s);
+  return s;
+}
+
+void FeatureExtractor::BuildSample(const RtpRequest& request,
+                                   synth::Sample* out) const {
+  M2G_CHECK(!request.pending.empty());
+  synth::Sample& s = *out;
+  // Reset by clearing each vector rather than assigning a fresh Sample,
+  // so a reused `out` (a warm batch slot) keeps its vector capacity.
+  s.day = 0;
+  s.locations.clear();
+  s.aoi_node_ids.clear();
+  s.loc_to_aoi.clear();
+  s.route_label.clear();
+  s.time_label_min.clear();
+  s.aoi_route_label.clear();
+  s.aoi_time_label_min.clear();
   s.courier_id = request.courier.id;
   s.courier = request.courier;
   s.courier_pos = request.courier_pos;
@@ -48,7 +65,6 @@ synth::Sample FeatureExtractor::BuildSample(const RtpRequest& request) const {
     s.locations.push_back(task);
     s.loc_to_aoi.push_back(aoi_to_node[o->aoi_id]);
   }
-  return s;
 }
 
 }  // namespace m2g::serve

@@ -1,9 +1,32 @@
 #include "serve/rtp_service.h"
 
+#include <utility>
+
 #include "obs/trace.h"
 #include "tensor/grad_mode.h"
 
 namespace m2g::serve {
+
+RtpService::RtpService(const synth::World* world,
+                       const core::M2g4Rtp* model,
+                       const ServingConfig& config)
+    : extractor_(world), model_(model) {
+  if (config.batching_enabled) {
+    scheduler_ =
+        std::make_unique<BatchScheduler>(nullptr, model, config.batch);
+  }
+}
+
+RtpService::RtpService(const synth::World* world,
+                       const ModelRegistry* registry,
+                       const ServingConfig& config)
+    : extractor_(world), registry_(registry) {
+  M2G_CHECK(registry != nullptr);
+  if (config.batching_enabled) {
+    scheduler_ =
+        std::make_unique<BatchScheduler>(registry, nullptr, config.batch);
+  }
+}
 
 RtpService::Response RtpService::Handle(const RtpRequest& request) const {
   static obs::Counter& requests_counter =
@@ -13,19 +36,42 @@ RtpService::Response RtpService::Handle(const RtpRequest& request) const {
   static obs::Histogram& extract_hist =
       obs::StageHistogram("serve.stage.feature_extract.ms");
 
-  // Serving never backpropagates: skip all graph construction. The
-  // request-scoped arena recycles every forward-pass buffer through the
-  // thread-local pool — once a serving thread is warm, the steady-state
-  // hot path performs zero heap allocations for tensor storage.
+  // Serving never backpropagates: skip all graph construction.
   NoGradGuard no_grad;
-  ArenaGuard arena;
   obs::TraceSpan request_span("serve.request.ms", &request_hist);
   Response response;
-  {
-    obs::TraceSpan span("serve.stage.feature_extract.ms", &extract_hist);
-    response.sample = extractor_.BuildSample(request);
+  if (scheduler_ != nullptr) {
+    // Batching path: extract here, predict wherever the scheduler
+    // coalesces us. The sample rides through the batch by move and comes
+    // back with the prediction and the serving snapshot's version.
+    synth::Sample sample;
+    {
+      obs::TraceSpan span("serve.stage.feature_extract.ms", &extract_hist);
+      extractor_.BuildSample(request, &sample);
+    }
+    BatchResult result = scheduler_->Submit(std::move(sample));
+    response.sample = std::move(result.sample);
+    response.prediction = std::move(result.prediction);
+    response.model_version = result.model_version;
+  } else {
+    // Legacy path. The request-scoped arena recycles every forward-pass
+    // buffer through the thread-local pool — once a serving thread is
+    // warm, the steady-state hot path performs zero heap allocations for
+    // tensor storage.
+    ArenaGuard arena;
+    {
+      obs::TraceSpan span("serve.stage.feature_extract.ms", &extract_hist);
+      extractor_.BuildSample(request, &response.sample);
+    }
+    const core::M2g4Rtp* model = model_;
+    std::shared_ptr<const ModelSnapshot> snapshot;
+    if (registry_ != nullptr) {
+      snapshot = registry_->Current();
+      model = snapshot->model.get();
+      response.model_version = snapshot->version;
+    }
+    response.prediction = model->Predict(response.sample);
   }
-  response.prediction = model_->Predict(response.sample);
   requests_served_.fetch_add(1, std::memory_order_relaxed);
   requests_counter.Increment();
   return response;

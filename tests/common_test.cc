@@ -216,5 +216,21 @@ TEST(BenchJsonTest, ObjectAndArrayComposeWithEscapedKeys) {
   EXPECT_EQ(doc.Dump(), "{\"k\\n1\":2,\"arr\":[true,0.5]}");
 }
 
+TEST(BenchJsonTest, NonFiniteNumbersSerializeAsNull) {
+  using bench::JsonValue;
+  // RFC 8259 has no NaN/Infinity literals; a bare `nan` would corrupt
+  // the BENCH_*.json artifacts downstream tooling parses.
+  EXPECT_EQ(JsonValue::Number(std::nan("")).Dump(), "null");
+  EXPECT_EQ(JsonValue::Number(HUGE_VAL).Dump(), "null");
+  EXPECT_EQ(JsonValue::Number(-HUGE_VAL).Dump(), "null");
+  EXPECT_EQ(JsonValue::Number(1.5).Dump(), "1.5");
+  JsonValue doc =
+      JsonValue::Object().Set("arr", JsonValue::Array()
+                                         .Push(JsonValue::Number(0.25))
+                                         .Push(JsonValue::Number(
+                                             std::nan(""))));
+  EXPECT_EQ(doc.Dump(), "{\"arr\":[0.25,null]}");
+}
+
 }  // namespace
 }  // namespace m2g

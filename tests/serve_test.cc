@@ -1,14 +1,21 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <barrier>
+#include <memory>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "core/trainer.h"
 #include "obs/export.h"
 #include "serve/eta_service.h"
 #include "serve/graph_builder.h"
+#include "serve/model_registry.h"
 #include "serve/order_sorting_service.h"
 #include "serve/replay.h"
+#include "tensor/grad_mode.h"
+#include "tensor/pool.h"
 
 namespace m2g::serve {
 namespace {
@@ -186,6 +193,295 @@ TEST(EtaServiceTest, EstimateOrderFindsAndRejects) {
   auto missing = eta.EstimateOrder(req, -1234);
   EXPECT_FALSE(missing.ok());
   EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+}
+
+// Exact (bitwise) equality between two predictions: routes are integer
+// vectors, times are doubles produced by identical float op sequences.
+void ExpectPredictionBitwiseEq(const core::RtpPrediction& got,
+                               const core::RtpPrediction& want) {
+  EXPECT_EQ(got.location_route, want.location_route);
+  EXPECT_EQ(got.aoi_route, want.aoi_route);
+  ASSERT_EQ(got.location_times_min.size(), want.location_times_min.size());
+  for (size_t i = 0; i < want.location_times_min.size(); ++i) {
+    EXPECT_EQ(got.location_times_min[i], want.location_times_min[i]) << i;
+  }
+  ASSERT_EQ(got.aoi_times_min.size(), want.aoi_times_min.size());
+  for (size_t i = 0; i < want.aoi_times_min.size(); ++i) {
+    EXPECT_EQ(got.aoi_times_min[i], want.aoi_times_min[i]) << i;
+  }
+}
+
+TEST(PredictBatchTest, BitwiseIdenticalToSequentialPooledAndPlain) {
+  // The acceptance bar for the batching refactor: for every sample of a
+  // mixed-size batch, PredictBatch must reproduce Predict's bits — with
+  // pooled storage (the serving configuration) and with the pool kill
+  // switch off (plain heap storage).
+  ServeFixture* f = Fixture();
+  NoGradGuard no_grad;
+  const auto& samples = f->built.splits.test.samples;
+  std::vector<const synth::Sample*> batch;
+  for (size_t i = 0; i < samples.size() && i < 6; ++i) {
+    batch.push_back(&samples[i]);
+  }
+  ASSERT_GE(batch.size(), 2u);
+
+  std::vector<core::RtpPrediction> want;
+  for (const synth::Sample* s : batch) want.push_back(f->model->Predict(*s));
+
+  {
+    ArenaGuard arena;
+    std::vector<core::RtpPrediction> got = f->model->PredictBatch(batch, 8);
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t i = 0; i < want.size(); ++i) {
+      ExpectPredictionBitwiseEq(got[i], want[i]);
+    }
+  }
+  TensorPool::set_enabled(false);
+  std::vector<core::RtpPrediction> plain = f->model->PredictBatch(batch, 8);
+  TensorPool::set_enabled(true);
+  ASSERT_EQ(plain.size(), want.size());
+  for (size_t i = 0; i < want.size(); ++i) {
+    ExpectPredictionBitwiseEq(plain[i], want[i]);
+  }
+}
+
+TEST(RtpServiceBatchingTest, BatchedHandleMatchesUnbatchedBitwise) {
+  // Concurrent Handle() calls through the batching scheduler must return
+  // exactly the unbatched responses, no matter how the scheduler
+  // composed the micro-batches.
+  ServeFixture* f = Fixture();
+  const auto& samples = f->built.splits.test.samples;
+  const int kDistinct = std::min<int>(6, static_cast<int>(samples.size()));
+  std::vector<RtpRequest> requests;
+  std::vector<core::RtpPrediction> want;
+  {
+    NoGradGuard no_grad;
+    for (int i = 0; i < kDistinct; ++i) {
+      requests.push_back(f->RequestFromSample(samples[i]));
+      want.push_back(f->model->Predict(samples[i]));
+    }
+  }
+
+  ServingConfig config;
+  config.batching_enabled = true;
+  config.batch.max_batch_size = 4;
+  config.batch.max_linger_us = 1000;
+  RtpService service(&f->built.world, f->model.get(), config);
+
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 3;
+  // responses[t][r * kDistinct + i] answers requests[i].
+  std::vector<std::vector<RtpService::Response>> responses(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int r = 0; r < kRounds; ++r) {
+        for (int i = 0; i < kDistinct; ++i) {
+          responses[t].push_back(service.Handle(requests[i]));
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  EXPECT_EQ(service.requests_served(), kThreads * kRounds * kDistinct);
+  for (int t = 0; t < kThreads; ++t) {
+    ASSERT_EQ(responses[t].size(),
+              static_cast<size_t>(kRounds * kDistinct));
+    for (int r = 0; r < kRounds; ++r) {
+      for (int i = 0; i < kDistinct; ++i) {
+        const RtpService::Response& resp = responses[t][r * kDistinct + i];
+        ExpectPredictionBitwiseEq(resp.prediction, want[i]);
+        // Fixed-model service: every response tagged version 0.
+        EXPECT_EQ(resp.model_version, 0);
+        // The sample rode through the batch with the right request.
+        ASSERT_EQ(resp.sample.num_locations(),
+                  samples[i].num_locations());
+        EXPECT_EQ(resp.sample.locations.front().order_id,
+                  samples[i].locations.front().order_id);
+      }
+    }
+  }
+}
+
+TEST(RtpServiceBatchingTest, ConcurrentStressZeroSteadyStateMisses) {
+  // requests_served() must equal submissions, and once each serving
+  // thread's pool is warm the batching path must allocate nothing new:
+  // zero pool misses across the whole steady phase.
+  ServeFixture* f = Fixture();
+  const synth::Sample& sample = f->built.splits.test.samples.front();
+  const RtpRequest request = f->RequestFromSample(sample);
+
+  ServingConfig config;
+  config.batching_enabled = true;
+  config.batch.max_batch_size = 4;
+  config.batch.max_linger_us = 1000;
+  RtpService service(&f->built.world, f->model.get(), config);
+
+  core::RtpPrediction want;
+  {
+    NoGradGuard no_grad;
+    want = f->model->Predict(sample);
+  }
+  const int64_t served_before = service.requests_served();
+
+  constexpr int kThreads = 4;
+  constexpr int kRequestsPerThread = 12;
+  std::barrier sync(kThreads + 1);
+  TensorPool::ArenaCounters baseline;
+  std::vector<std::vector<RtpService::Response>> responses(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      // Deterministic warm-up covering every batch composition this
+      // thread can later execute as leader: the full-size batch (whose
+      // plan page set and per-sample buffers are supersets of every
+      // smaller composition at the same capacity hint) and the
+      // single-request fallback (which builds a capacity-1 plan with
+      // different, smaller size classes).
+      {
+        NoGradGuard no_grad;
+        ArenaGuard arena;
+        std::vector<const synth::Sample*> warm_batch(
+            config.batch.max_batch_size, &sample);
+        f->model->PredictBatch(warm_batch, config.batch.max_batch_size);
+        f->model->Predict(sample);
+      }
+      sync.arrive_and_wait();  // all threads warm
+      sync.arrive_and_wait();  // baseline counters captured
+      for (int r = 0; r < kRequestsPerThread; ++r) {
+        responses[t].push_back(service.Handle(request));
+      }
+    });
+  }
+  sync.arrive_and_wait();
+  baseline = RtpService::pool_counters();
+  sync.arrive_and_wait();
+  for (std::thread& th : threads) th.join();
+
+  EXPECT_EQ(service.requests_served() - served_before,
+            kThreads * kRequestsPerThread);
+  EXPECT_EQ(service.batch_sheds(), 0u);
+  for (int t = 0; t < kThreads; ++t) {
+    ASSERT_EQ(responses[t].size(),
+              static_cast<size_t>(kRequestsPerThread));
+    for (const RtpService::Response& resp : responses[t]) {
+      ExpectPredictionBitwiseEq(resp.prediction, want);
+    }
+  }
+  const TensorPool::ArenaCounters after = RtpService::pool_counters();
+  EXPECT_EQ(after.misses - baseline.misses, 0u);
+  EXPECT_GT(after.hits, baseline.hits);
+}
+
+TEST(ModelRegistryTest, PublishBumpsVersionAndTagsResponses) {
+  ServeFixture* f = Fixture();
+  std::shared_ptr<const core::M2g4Rtp> initial(f->model.get(),
+                                               [](const core::M2g4Rtp*) {});
+  ModelRegistry registry(initial, /*initial_version=*/7);
+  EXPECT_EQ(registry.version(), 7);
+  EXPECT_EQ(registry.swap_count(), 0u);
+
+  RtpService service(&f->built.world, &registry, ServingConfig());
+  const synth::Sample& s = f->built.splits.test.samples.front();
+  RtpService::Response before = service.Handle(f->RequestFromSample(s));
+  EXPECT_EQ(before.model_version, 7);
+
+  // Publish the same weights reloaded through Save/Load: version must
+  // move, predictions must not.
+  const std::string path = ::testing::TempDir() + "/serve_swap_weights.bin";
+  ASSERT_TRUE(f->model->Save(path).ok());
+  auto reloaded = std::make_shared<core::M2g4Rtp>(f->model->config());
+  ASSERT_TRUE(reloaded->Load(path).ok());
+  EXPECT_EQ(registry.Publish(reloaded), 8);
+  EXPECT_EQ(registry.version(), 8);
+  EXPECT_EQ(registry.swap_count(), 1u);
+
+  RtpService::Response after = service.Handle(f->RequestFromSample(s));
+  EXPECT_EQ(after.model_version, 8);
+  ExpectPredictionBitwiseEq(after.prediction, before.prediction);
+
+  // A bad weights path must leave the registry untouched.
+  auto bad = registry.PublishFromFile(f->model->config(),
+                                      path + ".does_not_exist");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(registry.version(), 8);
+}
+
+TEST(ModelRegistryTest, SwapUnderConcurrentBatchedLoadDropsNothing) {
+  // The hot-swap safety contract: a Publish racing live batched traffic
+  // never drops, mixes, or double-serves a request. Every response must
+  // carry correct outputs and the version of a snapshot that actually
+  // existed when it was served.
+  ServeFixture* f = Fixture();
+  const auto& samples = f->built.splits.test.samples;
+  const int kDistinct = std::min<int>(4, static_cast<int>(samples.size()));
+  std::vector<RtpRequest> requests;
+  std::vector<core::RtpPrediction> want;
+  {
+    NoGradGuard no_grad;
+    for (int i = 0; i < kDistinct; ++i) {
+      requests.push_back(f->RequestFromSample(samples[i]));
+      want.push_back(f->model->Predict(samples[i]));
+    }
+  }
+
+  std::shared_ptr<const core::M2g4Rtp> initial(f->model.get(),
+                                               [](const core::M2g4Rtp*) {});
+  ModelRegistry registry(initial);
+  ServingConfig config;
+  config.batching_enabled = true;
+  config.batch.max_batch_size = 4;
+  config.batch.max_linger_us = 1000;
+  RtpService service(&f->built.world, &registry, config);
+  const int64_t served_before = service.requests_served();
+
+  // v2 = the same weights reloaded, so outputs stay deterministic while
+  // the swap itself is observable through the version tags.
+  const std::string path = ::testing::TempDir() + "/serve_swap_load.bin";
+  ASSERT_TRUE(f->model->Save(path).ok());
+  auto v2 = std::make_shared<core::M2g4Rtp>(f->model->config());
+  ASSERT_TRUE(v2->Load(path).ok());
+
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 4;
+  std::barrier sync(kThreads + 1);
+  std::vector<std::vector<RtpService::Response>> responses(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      sync.arrive_and_wait();
+      for (int r = 0; r < kRounds; ++r) {
+        for (int i = 0; i < kDistinct; ++i) {
+          responses[t].push_back(service.Handle(requests[i]));
+        }
+      }
+    });
+  }
+  sync.arrive_and_wait();
+  // Mid-load publish from the main thread — the "load off-thread" path.
+  registry.Publish(v2);
+  for (std::thread& th : threads) th.join();
+
+  EXPECT_EQ(registry.version(), 2);
+  EXPECT_EQ(registry.swap_count(), 1u);
+  EXPECT_EQ(service.requests_served() - served_before,
+            kThreads * kRounds * kDistinct);
+  for (int t = 0; t < kThreads; ++t) {
+    ASSERT_EQ(responses[t].size(),
+              static_cast<size_t>(kRounds * kDistinct));
+    for (int r = 0; r < kRounds; ++r) {
+      for (int i = 0; i < kDistinct; ++i) {
+        const RtpService::Response& resp = responses[t][r * kDistinct + i];
+        ExpectPredictionBitwiseEq(resp.prediction, want[i]);
+        EXPECT_TRUE(resp.model_version == 1 || resp.model_version == 2)
+            << resp.model_version;
+      }
+    }
+  }
+  // After the swap drains, new requests are served by v2.
+  RtpService::Response post = service.Handle(requests[0]);
+  EXPECT_EQ(post.model_version, 2);
 }
 
 TEST(TelemetryTest, ServingExportsCoverEveryStageAndCounter) {
