@@ -2,16 +2,21 @@
 // recording enabled vs disabled (obs::SetEnabled A/B in one binary; the
 // disabled path is a strict upper bound on a compiled-out M2G_OBS_DISABLED
 // build, which removes even the relaxed-load gate) and reports the
-// telemetry tax on end-to-end serving latency.
+// telemetry tax on end-to-end serving latency. The enabled side runs the
+// full PR-8 pipeline — request-scoped trace trees, per-stage spans, and
+// wide events at default (keep-everything) sampling — so the budget gates
+// tracing and structured logging, not just histogram records.
 //
 // `--smoke` runs a reduced configuration for CI and exits nonzero when
 //   * instrumented serving is more than 3% slower than uninstrumented
 //     (best-of-N interleaved passes, retried to ride out scheduler noise),
 //   * or the exported snapshot is missing any of the per-stage serving
-//     histograms, the service request counters, the tensor-pool counters
-//     or the thread-pool queue-depth gauge.
+//     histograms, the batching/queue-wait histograms, the wide-event
+//     counters, the service request counters, the tensor-pool counters
+//     or the thread-pool queue-depth gauge,
+//   * or no trace trees / wide events were retained.
 // It also dumps the final snapshot to m2g_metrics.prom / m2g_metrics.json
-// (uploaded as a CI artifact).
+// plus sample traces.json / events.jsonl (uploaded as CI artifacts).
 
 #include <algorithm>
 #include <cstdio>
@@ -25,6 +30,7 @@
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/wide_event.h"
 #include "serve/eta_service.h"
 #include "serve/replay.h"
 #include "serve/rtp_service.h"
@@ -89,11 +95,15 @@ int CheckExports(const std::string& prom, const std::string& json) {
       "m2g_pool_arena_misses",
       "m2g_threadpool_queue_depth",
       "m2g_threadpool_tasks_executed_total",
+      "m2g_serve_batch_queue_wait_ms_bucket",
+      "m2g_serve_batch_execute_ms_bucket",
+      "m2g_obs_wide_events_recorded_total",
   };
   const char* json_needles[] = {
       "\"serve.stage.encode.ms\"", "\"serve.rtp.requests\"",
       "\"serve.eta.requests\"",    "\"pool.arena_hits\"",
       "\"threadpool.queue_depth\"", "\"p99\"",
+      "\"serve.batch.queue_wait.ms\"", "\"obs.wide_events.recorded\"",
   };
   int failures = 0;
   for (const char* needle : prom_needles) {
@@ -186,6 +196,27 @@ int main(int argc, char** argv) {
   std::printf("  overhead: %.2f%% (%.1f us/request)\n",
               100.0 * ab.overhead(), per_req_us);
 
+  // Batched serving phase: populates the PR-8 surfaces the unbatched A/B
+  // cannot reach — the queue-wait and batch-execute histograms, trace
+  // trees whose members reference shared graph/encode spans, and wide
+  // events carrying batch attribution. Untimed: the A/B above already
+  // gates the instrumentation tax; this phase only feeds the exports.
+  size_t batched_requests = 0;
+  {
+    m2g::serve::ServingConfig sc;
+    sc.batching_enabled = true;
+    sc.batch.max_batch_size = 4;
+    sc.batch.max_linger_us = 2000;
+    m2g::serve::RtpService batched(&built.world, &model, sc);
+    m2g::serve::ConcurrentReplayResult br =
+        m2g::serve::ReplayConcurrently(batched, requests, /*threads=*/4);
+    batched_requests = br.responses.size();
+    std::printf("batched replay: %zu requests at %.0f req/s\n",
+                batched_requests, br.requests_per_second);
+  }
+  const size_t trace_trees = m2g::obs::RecentTraceTrees().size();
+  const uint64_t wide_events = m2g::obs::WideEventSink::Global().recorded();
+
   // Final snapshot out to disk (CI uploads these as artifacts) and the
   // export completeness check.
   const std::string prom = m2g::obs::ExportPrometheus();
@@ -197,6 +228,27 @@ int main(int argc, char** argv) {
     ++failures;
   } else {
     std::printf("snapshots written to m2g_metrics.prom / m2g_metrics.json\n");
+  }
+  if (trace_trees == 0) {
+    std::fprintf(stderr, "FAIL: no trace trees retained after serving\n");
+    ++failures;
+  }
+  if (wide_events == 0) {
+    std::fprintf(stderr, "FAIL: no wide events recorded after serving\n");
+    ++failures;
+  }
+  // Sample trace-tree / wide-event artifacts, written atomically like
+  // the live WriteMetricsFile path.
+  if (!m2g::obs::WriteFileAtomic("traces.json",
+                                 m2g::obs::ExportTracesJson()) ||
+      !m2g::obs::WideEventSink::Global().WriteJsonl("events.jsonl")) {
+    std::fprintf(stderr, "FAIL: could not write traces.json/events.jsonl\n");
+    ++failures;
+  } else {
+    std::printf("%zu trace trees -> traces.json, %llu wide events -> "
+                "events.jsonl\n",
+                trace_trees,
+                static_cast<unsigned long long>(wide_events));
   }
 
   namespace bench = m2g::bench;
@@ -211,6 +263,12 @@ int main(int argc, char** argv) {
           .Set("off_seconds", bench::JsonValue::Number(ab.off_seconds))
           .Set("overhead", bench::JsonValue::Number(ab.overhead()))
           .Set("per_request_us", bench::JsonValue::Number(per_req_us))
+          .Set("batched_requests",
+               bench::JsonValue::Int(static_cast<int64_t>(batched_requests)))
+          .Set("trace_trees",
+               bench::JsonValue::Int(static_cast<int64_t>(trace_trees)))
+          .Set("wide_events",
+               bench::JsonValue::Int(static_cast<int64_t>(wide_events)))
           .Set("export_check_failures", bench::JsonValue::Int(failures));
   if (!bench::WriteBenchJson("BENCH_obs_overhead.json", doc)) ++failures;
 

@@ -19,7 +19,8 @@
 //   * batched throughput >= M2G_BENCH_SERVING_MIN_SPEEDUP x unbatched
 //     (default 1.5),
 //   * swap under load: all requests correct, versions in {1, 2},
-//   * BENCH_serving.json written.
+//   * BENCH_serving.json written (with per-request queue-wait
+//     percentiles from the serve.batch.queue_wait.ms histogram).
 //
 // Scale knobs: M2G_BENCH_SERVING_REQUESTS (per thread per arm, default
 // 20 full / 6 smoke), M2G_BENCH_SERVING_NODES (default 50),
@@ -36,6 +37,8 @@
 #include "bench/bench_util.h"
 #include "common/stopwatch.h"
 #include "core/model.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/model_registry.h"
 #include "serve/rtp_service.h"
 #include "synth/world.h"
@@ -250,6 +253,17 @@ int main(int argc, char** argv) {
                 swap_ok ? "yes" : "NO");
   }
 
+  // Per-request queue wait (submit -> batch dispatch) over everything
+  // the batched arms served, from the same histogram a live scrape
+  // exports as serve.batch.queue_wait.ms.
+  const obs::HistogramSnapshot queue_wait =
+      obs::StageHistogram("serve.batch.queue_wait.ms").Snapshot();
+  std::printf("%12s n=%llu p50=%.3f ms p95=%.3f ms p99=%.3f ms\n",
+              "queue wait",
+              static_cast<unsigned long long>(queue_wait.count),
+              queue_wait.Quantile(0.50), queue_wait.Quantile(0.95),
+              queue_wait.Quantile(0.99));
+
   bench::JsonValue doc =
       bench::JsonValue::Object()
           .Set("bench", bench::JsonValue::String("serving_throughput"))
@@ -264,7 +278,15 @@ int main(int argc, char** argv) {
           .Set("speedup", bench::JsonValue::Number(speedup))
           .Set("responses_identical",
                bench::JsonValue::Bool(base.identical && fast.identical))
-          .Set("swap_under_load_ok", bench::JsonValue::Bool(swap_ok));
+          .Set("swap_under_load_ok", bench::JsonValue::Bool(swap_ok))
+          .Set("queue_wait_count",
+               bench::JsonValue::Int(static_cast<int64_t>(queue_wait.count)))
+          .Set("queue_wait_p50_ms",
+               bench::JsonValue::Number(queue_wait.Quantile(0.50)))
+          .Set("queue_wait_p95_ms",
+               bench::JsonValue::Number(queue_wait.Quantile(0.95)))
+          .Set("queue_wait_p99_ms",
+               bench::JsonValue::Number(queue_wait.Quantile(0.99)));
   const bool json_ok = bench::WriteBenchJson("BENCH_serving.json", doc);
 
   bool ok = json_ok && base.identical && swap_ok;

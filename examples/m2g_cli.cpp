@@ -6,11 +6,17 @@
 //                    [--threads 1]
 //   m2g_cli eval     --data splits.bin --weights weights.bin
 //   m2g_cli predict  --data splits.bin --weights weights.bin --sample 0
+//   m2g_cli serve    --data splits.bin --weights weights.bin
+//                    [--admin_port 0] [--batch] [--threads 4]
+//                    [--requests 64] [--traces_out t.json]
+//                    [--events_out e.jsonl]
 //
 // `generate` without --out prints dataset statistics only. Every command
-// also accepts --log_level=debug|info|warning|error and
+// also accepts --log_level=debug|info|warning|error,
 // --metrics_out=FILE (telemetry snapshot; ".json" suffix selects the
-// JSON exporter, anything else the Prometheus text format).
+// JSON exporter, anything else the Prometheus text format), and the
+// observability knobs --obs_enabled / --trace_ring / --trace_tree_ring /
+// --obs_head_sample / --obs_tail_ms.
 
 #include <algorithm>
 #include <cstdio>
@@ -18,7 +24,11 @@
 #include "common/flags.h"
 #include "core/trainer.h"
 #include "metrics/report.h"
+#include "obs/admin_server.h"
 #include "obs/export.h"
+#include "obs/wide_event.h"
+#include "serve/model_registry.h"
+#include "serve/replay.h"
 #include "synth/dataset_io.h"
 
 namespace {
@@ -38,8 +48,13 @@ int Usage() {
       "           [--weight-decay X] [--lr X] [--threads N]\n"
       "  eval     --data FILE --weights FILE [--hidden N] [--beam N]\n"
       "  predict  --data FILE --weights FILE --sample I [--hidden N]\n"
+      "  serve    --data FILE --weights FILE [--admin_port P] [--batch]\n"
+      "           [--threads N] [--requests N] [--traces_out FILE]\n"
+      "           [--events_out FILE]\n"
       "common:    [--log_level debug|info|warning|error]\n"
-      "           [--metrics_out FILE[.json]]\n");
+      "           [--metrics_out FILE[.json]] [--obs_enabled BOOL]\n"
+      "           [--trace_ring N] [--trace_tree_ring N]\n"
+      "           [--obs_head_sample N] [--obs_tail_ms X]\n");
   return 2;
 }
 
@@ -176,6 +191,90 @@ int Predict(const FlagParser& flags) {
   return 0;
 }
 
+int Serve(const FlagParser& flags) {
+  auto data = LoadData(flags);
+  if (!data.ok()) return Fail(data.status().ToString());
+  auto model = std::make_shared<core::M2g4Rtp>(ConfigFromFlags(flags));
+  Status s = model->Load(flags.GetString("weights", "weights.bin"));
+  if (!s.ok()) return Fail(s.ToString());
+  if (data.value().test.size() == 0) return Fail("test split is empty");
+
+  serve::ModelRegistry registry(model, /*initial_version=*/1);
+  serve::ServingConfig config;
+  config.batching_enabled = flags.GetBool("batch", false);
+  config.batch.max_batch_size =
+      flags.GetInt("max_batch", config.batch.max_batch_size);
+  config.batch.max_linger_us =
+      flags.GetInt("linger_us", config.batch.max_linger_us);
+  // Rebuild the world the dataset was generated from (splits files carry
+  // samples, not the city): --seed / --aois must match the generate run.
+  synth::DataConfig dconfig;
+  dconfig.world.num_aois = flags.GetInt("aois", dconfig.world.num_aois);
+  dconfig.seed = static_cast<uint64_t>(flags.GetInt("seed", 20230707));
+  Rng seed_rng(dconfig.seed);
+  Rng world_rng = seed_rng.Fork();
+  const synth::World world = synth::GenerateWorld(dconfig.world, &world_rng);
+  serve::RtpService service(&world, &registry, config);
+
+  // The admin endpoint stays live for the whole replay: scrape
+  // /metrics, /traces, /events, /healthz from another terminal while
+  // requests flow. --admin_port=0 picks an ephemeral port (printed).
+  const bool admin_requested = flags.Has("admin_port");
+  obs::AdminOptions admin_options;
+  admin_options.port = flags.GetInt("admin_port", 0);
+  admin_options.extra_health_json = [&registry] {
+    const auto snapshot = registry.Current();
+    return "\"model_version\": " +
+           std::to_string(snapshot != nullptr ? snapshot->version : 0) +
+           ", \"swaps\": " + std::to_string(registry.swap_count());
+  };
+  obs::AdminServer admin(admin_options);
+  if (admin_requested) {
+    std::string error;
+    if (!admin.Start(&error)) {
+      return Fail("admin server failed to start: " + error);
+    }
+    std::printf("admin endpoint on http://127.0.0.1:%d "
+                "(/metrics /traces /events /healthz)\n",
+                admin.port());
+  }
+
+  std::vector<serve::RtpRequest> requests;
+  const int total = std::max(1, flags.GetInt("requests", 64));
+  requests.reserve(total);
+  for (int i = 0; i < total; ++i) {
+    requests.push_back(serve::RequestFromSample(
+        data.value().test.samples[i % data.value().test.size()]));
+  }
+  const int threads = std::max(1, flags.GetInt("threads", 4));
+  std::printf("serving %d requests from %d threads (batching %s) ...\n",
+              total, threads, config.batching_enabled ? "on" : "off");
+  serve::ConcurrentReplayResult replay =
+      serve::ReplayConcurrently(service, requests, threads);
+  std::printf("%zu responses in %.2fs (%.1f req/s), %llu sheds\n",
+              replay.responses.size(), replay.wall_seconds,
+              replay.requests_per_second,
+              static_cast<unsigned long long>(service.batch_sheds()));
+
+  if (flags.Has("traces_out")) {
+    const std::string path = flags.GetString("traces_out", "traces.json");
+    if (obs::WriteFileAtomic(path, obs::ExportTracesJson())) {
+      std::printf("traces written to %s\n", path.c_str());
+    } else {
+      std::fprintf(stderr, "warning: could not write %s\n", path.c_str());
+    }
+  }
+  if (flags.Has("events_out")) {
+    const std::string path = flags.GetString("events_out", "events.jsonl");
+    if (obs::WideEventSink::Global().WriteJsonl(path)) {
+      std::printf("events written to %s\n", path.c_str());
+    } else {
+      std::fprintf(stderr, "warning: could not write %s\n", path.c_str());
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -185,6 +284,7 @@ int main(int argc, char** argv) {
   if (!flags.ApplyLogLevelFlag()) {
     return Fail("unrecognized --log_level value");
   }
+  flags.ApplyObsFlags();
   // Queried up front so a typo'd command still reports the flag as used.
   const std::string metrics_out = flags.GetString("metrics_out", "");
   int rc;
@@ -196,6 +296,8 @@ int main(int argc, char** argv) {
     rc = Eval(flags);
   } else if (flags.command() == "predict") {
     rc = Predict(flags);
+  } else if (flags.command() == "serve") {
+    rc = Serve(flags);
   } else {
     return Usage();
   }

@@ -1,8 +1,12 @@
 #include "common/flags.h"
 
+#include <algorithm>
 #include <cstdlib>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "obs/wide_event.h"
 
 namespace m2g {
 
@@ -76,6 +80,26 @@ bool FlagParser::ApplyLogLevelFlag() const {
   if (!ParseLogLevel(name, &level)) return false;
   SetLogLevel(level);
   return true;
+}
+
+void FlagParser::ApplyObsFlags() const {
+  if (Has("obs_enabled")) obs::SetEnabled(GetBool("obs_enabled", true));
+  if (Has("trace_ring")) {
+    obs::SetTraceRingCapacity(
+        static_cast<size_t>(std::max(0, GetInt("trace_ring", 256))));
+  }
+  if (Has("trace_tree_ring")) {
+    obs::SetTraceTreeRingCapacity(
+        static_cast<size_t>(std::max(0, GetInt("trace_tree_ring", 64))));
+  }
+  if (Has("obs_head_sample") || Has("obs_tail_ms")) {
+    obs::WideEventOptions options = obs::WideEventSink::Global().options();
+    options.head_sample_every =
+        GetInt("obs_head_sample", options.head_sample_every);
+    options.tail_keep_over_ms =
+        GetDouble("obs_tail_ms", options.tail_keep_over_ms);
+    obs::WideEventSink::Global().Configure(options);
+  }
 }
 
 std::vector<std::string> FlagParser::UnqueriedFlags() const {

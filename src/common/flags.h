@@ -37,6 +37,13 @@ class FlagParser {
   /// but carries an unrecognized value; absent means true (no change).
   bool ApplyLogLevelFlag() const;
 
+  /// Applies the observability knobs when present, leaving absent ones
+  /// untouched: --obs_enabled=false (runtime kill switch),
+  /// --trace_ring=N (flat span ring), --trace_tree_ring=N (trace-tree
+  /// ring), --obs_head_sample=N (keep every Nth wide event),
+  /// --obs_tail_ms=X (always keep wide events at/over X ms total).
+  void ApplyObsFlags() const;
+
  private:
   std::string command_;
   std::map<std::string, std::string> flags_;

@@ -3,6 +3,8 @@
 #include <atomic>
 #include <cstdio>
 
+#include "obs/trace_context.h"
+
 namespace m2g {
 namespace {
 
@@ -63,7 +65,12 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
   for (const char* p = file; *p != '\0'; ++p) {
     if (*p == '/') base = p + 1;
   }
-  stream_ << "[" << LevelName(level) << " " << base << ":" << line << "] ";
+  stream_ << "[" << LevelName(level) << " " << base << ":" << line;
+  // Correlate log lines with the request trace working on this thread,
+  // so a wide event / span tree and its logs join on one id.
+  const obs::TraceContext ctx = obs::CurrentTraceContext();
+  if (ctx.active()) stream_ << " trace=" << ctx.trace_id;
+  stream_ << "] ";
 }
 
 LogMessage::~LogMessage() {

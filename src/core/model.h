@@ -9,6 +9,7 @@
 #include "core/route_decoder.h"
 #include "core/sort_lstm.h"
 #include "core/uncertainty_loss.h"
+#include "obs/trace_context.h"
 
 namespace m2g::core {
 
@@ -66,9 +67,18 @@ class M2g4Rtp : public nn::Module {
   /// page count — the batch scheduler passes its max batch size so the
   /// pooled plan buffers keep one size class across variable batch
   /// compositions (deterministic pool reuse at steady state).
+  ///
+  /// `member_traces`, when given, carries one TraceContext per sample
+  /// (the submitting request's trace): the batch-amortized graph/encode
+  /// spans are fanned out to each member trace as shared-span references
+  /// tagged with the batch size, and each sample's decode/ETA tail runs
+  /// under that member's context so the per-request span tree stays
+  /// complete through batching. Pure instrumentation — the numeric path
+  /// is identical with or without it.
   std::vector<RtpPrediction> PredictBatch(
       const std::vector<const synth::Sample*>& samples,
-      int plan_capacity_hint = 0) const;
+      int plan_capacity_hint = 0,
+      const std::vector<obs::TraceContext>* member_traces = nullptr) const;
 
   const ModelConfig& config() const { return config_; }
   const UncertaintyLoss& uncertainty() const { return *uncertainty_; }

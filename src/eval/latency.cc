@@ -5,6 +5,7 @@
 
 #include "common/stopwatch.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tensor/grad_mode.h"
 
 namespace m2g::eval {
@@ -47,11 +48,18 @@ LatencyResult MeasureLatency(const RtpModel& model,
   // on bucketing and quantile interpolation.
   obs::Histogram hist(obs::DefaultLatencyBucketsMs());
   for (const synth::Sample& s : samples) {
+    // Each measured predict is a request-scoped trace ("eval" tag): the
+    // offline latency study produces the same span trees / wide events a
+    // live scrape would, sized by the sample's levels.
+    obs::RequestTrace trace("eval");
+    trace.event().num_locations = s.num_locations();
+    trace.event().num_aois = s.num_aois();
     Stopwatch watch;
     core::RtpPrediction pred = model.Predict(s);
     const double ms = watch.ElapsedMillis();
     // Defeat dead-code elimination.
     if (pred.location_route.empty()) std::fprintf(stderr, "!");
+    trace.event().route_length = static_cast<int>(pred.location_route.size());
     hist.Record(ms);
   }
   const obs::HistogramSnapshot snap = hist.Snapshot();

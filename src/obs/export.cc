@@ -1,15 +1,17 @@
 #include "obs/export.h"
 
 #include <cctype>
+#include <cmath>
 #include <cstdio>
+
+#include "obs/trace.h"
+#include "obs/wide_event.h"
 
 namespace m2g::obs {
 namespace {
 
-/// Shortest-faithful double formatting: integers print bare ("42"),
-/// everything else up to 9 significant digits — deterministic across
-/// platforms for the value ranges metrics produce.
 std::string Num(double v) {
+  if (!std::isfinite(v)) return "null";
   char buf[64];
   if (v == static_cast<double>(static_cast<long long>(v)) &&
       v > -1e15 && v < 1e15) {
@@ -41,6 +43,35 @@ void AppendJsonKey(std::string* out, const std::string& key) {
   out->push_back('"');
   *out += key;  // registry names never need escaping
   *out += "\":";
+}
+
+void AppendSpanJson(std::string* out, const std::vector<TraceEvent>& spans,
+                    const std::vector<std::vector<size_t>>& children,
+                    size_t index, int depth) {
+  const TraceEvent& e = spans[index];
+  *out += "{\"stage\": \"";
+  *out += JsonEscape(e.stage != nullptr ? e.stage : "");
+  *out += "\", \"span_id\": " + Num(e.span_id);
+  *out += ", \"parent_span_id\": " + Num(e.parent_span_id);
+  if (e.ref_span_id != 0) {
+    *out += ", \"ref_span_id\": " + Num(e.ref_span_id);
+  }
+  *out += ", \"batch_size\": " + Num(static_cast<double>(e.batch_size));
+  *out += ", \"start_ms\": " + Num(e.start_ms);
+  *out += ", \"duration_ms\": " + Num(e.duration_ms);
+  *out += ", \"thread_slot\": " + Num(static_cast<double>(e.thread_slot));
+  *out += ", \"children\": [";
+  // Depth guard: trace trees are a few levels deep by construction; a
+  // corrupted parent chain must not blow the stack.
+  if (depth < 32) {
+    bool first = true;
+    for (size_t child : children[index]) {
+      if (!first) *out += ", ";
+      first = false;
+      AppendSpanJson(out, spans, children, child, depth + 1);
+    }
+  }
+  *out += "]}";
 }
 
 }  // namespace
@@ -125,15 +156,120 @@ std::string ExportJson() {
   return ExportJson(MetricsRegistry::Global().Snapshot());
 }
 
+std::string ExportTracesJson() {
+  const std::vector<TraceTree> trees = RecentTraceTrees();
+  std::string out = "[";
+  bool first_tree = true;
+  for (const TraceTree& tree : trees) {
+    out += first_tree ? "\n  " : ",\n  ";
+    first_tree = false;
+    out += "{\"trace_id\": " + Num(tree.trace_id) + ", \"tag\": \"" +
+           JsonEscape(tree.tag) + "\", \"spans\": [";
+    // Index spans by id to build parent -> children edges; spans whose
+    // parent is 0 or absent (e.g. the trace outlived part of the ring)
+    // render as roots.
+    const std::vector<TraceEvent>& spans = tree.spans;
+    std::vector<std::vector<size_t>> children(spans.size());
+    std::vector<bool> is_root(spans.size(), true);
+    for (size_t i = 0; i < spans.size(); ++i) {
+      if (spans[i].parent_span_id == 0) continue;
+      for (size_t j = 0; j < spans.size(); ++j) {
+        if (j != i && spans[j].span_id == spans[i].parent_span_id) {
+          children[j].push_back(i);
+          is_root[i] = false;
+          break;
+        }
+      }
+    }
+    bool first_span = true;
+    for (size_t i = 0; i < spans.size(); ++i) {
+      if (!is_root[i]) continue;
+      if (!first_span) out += ", ";
+      first_span = false;
+      AppendSpanJson(&out, spans, children, i, 0);
+    }
+    out += "]}";
+  }
+  out += "\n]\n";
+  return out;
+}
+
+std::string ExportWideEventsJson() {
+  const std::vector<WideEvent> events = WideEventSink::Global().Recent();
+  std::string out = "[";
+  bool first = true;
+  for (const WideEvent& e : events) {
+    out += first ? "\n  " : ",\n  ";
+    first = false;
+    out += WideEventSink::ToJsonLine(e);
+  }
+  out += "\n]\n";
+  return out;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonNum(double v) { return Num(v); }
+
+bool WriteFileAtomic(const std::string& path, const std::string& text) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (f == nullptr) return false;
+  const size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  const bool flushed = std::fclose(f) == 0 && written == text.size();
+  if (!flushed) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
 bool WriteMetricsFile(const std::string& path) {
   const bool json =
       path.size() >= 5 && path.compare(path.size() - 5, 5, ".json") == 0;
-  const std::string text = json ? ExportJson() : ExportPrometheus();
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) return false;
-  const size_t written = std::fwrite(text.data(), 1, text.size(), f);
-  const bool ok = std::fclose(f) == 0 && written == text.size();
-  return ok;
+  return WriteFileAtomic(path, json ? ExportJson() : ExportPrometheus());
 }
 
 }  // namespace m2g::obs

@@ -21,9 +21,35 @@ std::string ExportJson(const MetricsSnapshot& snapshot);
 std::string ExportPrometheus();
 std::string ExportJson();
 
+/// The recent trace-tree ring as a JSON array of nested trees:
+/// [{"trace_id", "tag", "spans": [{stage, span_id, parent_span_id,
+/// ref_span_id, batch_size, start_ms, duration_ms, thread_slot,
+/// children: [...]}]}]. Orphaned spans (parent missing from the tree)
+/// surface as extra roots rather than being dropped.
+std::string ExportTracesJson();
+
+/// The recent wide-event ring as a JSON array (same objects as the
+/// JSONL lines, wrapped in [...]).
+std::string ExportWideEventsJson();
+
+/// RFC 8259 string escaping: quotes, backslash, and control characters
+/// (as \uXXXX). Returns the escaped body without surrounding quotes.
+std::string JsonEscape(const std::string& s);
+
+/// Shortest-faithful number formatting shared by all obs JSON output:
+/// integral values print bare ("42"), everything else up to 9
+/// significant digits; NaN/Inf (not valid JSON) print as null.
+std::string JsonNum(double v);
+
+/// Writes `text` to `path` atomically: writes `path` + ".tmp" then
+/// renames over `path`, so a concurrent reader sees either the old or
+/// the new content, never a half-written file. Returns false on I/O
+/// failure (the tmp file is removed on a failed write).
+bool WriteFileAtomic(const std::string& path, const std::string& text);
+
 /// Writes the global registry snapshot to `path`: JSON when the path
-/// ends in ".json", Prometheus text otherwise. Returns false on I/O
-/// failure.
+/// ends in ".json", Prometheus text otherwise. Atomic (tmp + rename).
+/// Returns false on I/O failure.
 bool WriteMetricsFile(const std::string& path);
 
 }  // namespace m2g::obs

@@ -24,6 +24,12 @@ obs::Counter& ShedCounter() {
   return c;
 }
 
+obs::Histogram& QueueWaitHistogram() {
+  static obs::Histogram& h =
+      obs::StageHistogram("serve.batch.queue_wait.ms");
+  return h;
+}
+
 }  // namespace
 
 BatchScheduler::BatchScheduler(const ModelRegistry* registry,
@@ -39,13 +45,21 @@ BatchScheduler::BatchScheduler(const ModelRegistry* registry,
 BatchResult BatchScheduler::Submit(synth::Sample sample) {
   Slot slot;
   slot.sample = std::move(sample);
+  // Captured before queueing: the innermost open span here is the
+  // request's root span, so everything the leader records under this
+  // context (queue wait, shared stages, this member's decode) becomes a
+  // direct child of it.
+  slot.ctx = obs::CurrentTraceContext();
+  slot.submit_ms = obs::UptimeMs();
 
   std::unique_lock<std::mutex> lock(mu_);
   if (static_cast<int>(queue_.size()) >= config_.max_queue_depth) {
     lock.unlock();
     sheds_.fetch_add(1, std::memory_order_relaxed);
     ShedCounter().Increment();
-    return ExecuteSingle(std::move(slot.sample));
+    BatchResult result = ExecuteSingle(std::move(slot.sample));
+    result.shed = true;
+    return result;
   }
   queue_.push_back(&slot);
   // Wake the leader only while it lingers: a fuller batch may dispatch
@@ -103,7 +117,20 @@ void BatchScheduler::LeadLoop(std::unique_lock<std::mutex>& lock,
 }
 
 void BatchScheduler::ExecuteBatch(const std::vector<Slot*>& batch) {
-  BatchSizeHistogram().Record(static_cast<double>(batch.size()));
+  const int batch_size = static_cast<int>(batch.size());
+  BatchSizeHistogram().Record(static_cast<double>(batch_size));
+  // Dispatch marks the end of every member's queue wait: record it per
+  // member (submit -> now), into both the queue-wait histogram and each
+  // member's span tree.
+  const double dispatch_ms = obs::UptimeMs();
+  for (Slot* s : batch) {
+    const double wait_ms = dispatch_ms - s->submit_ms;
+    s->result.queue_wait_ms = wait_ms;
+    s->result.batch_size = batch_size;
+    obs::RecordExternalSpan(s->ctx, "serve.batch.queue_wait.ms",
+                            s->submit_ms, wait_ms, &QueueWaitHistogram(),
+                            batch_size);
+  }
   // The leader's thread does the whole batch's tensor work: no-grad,
   // one arena scope, so every forward-pass buffer recycles through this
   // thread's pool.
@@ -127,10 +154,22 @@ void BatchScheduler::ExecuteBatch(const std::vector<Slot*>& batch) {
   // bits are untouched by oversized scratch, so parity holds — the
   // serve_test parity suite covers mixed-size batches).
   std::vector<const synth::Sample*> samples;
+  std::vector<obs::TraceContext> member_traces;
   samples.reserve(batch.size());
-  for (Slot* s : batch) samples.push_back(&s->sample);
-  std::vector<core::RtpPrediction> preds =
-      model->PredictBatch(samples, config_.max_batch_size);
+  member_traces.reserve(batch.size());
+  for (Slot* s : batch) {
+    samples.push_back(&s->sample);
+    member_traces.push_back(s->ctx);
+  }
+  std::vector<core::RtpPrediction> preds;
+  {
+    // The batch trace owns the batch-amortized work: graph build and
+    // encode record once under serve.batch.execute.ms, and PredictBatch
+    // fans their ids out to each member tree as shared-span references.
+    obs::BatchTrace batch_trace(batch_size);
+    preds =
+        model->PredictBatch(samples, config_.max_batch_size, &member_traces);
+  }
   for (size_t i = 0; i < batch.size(); ++i) {
     batch[i]->result.prediction = std::move(preds[i]);
     batch[i]->result.sample = std::move(batch[i]->sample);

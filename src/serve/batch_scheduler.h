@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/model.h"
+#include "obs/trace_context.h"
 #include "serve/model_registry.h"
 #include "synth/dataset.h"
 
@@ -40,6 +41,16 @@ struct BatchResult {
   /// Version of the ModelSnapshot that produced `prediction` (0 when the
   /// scheduler runs on a fixed model with no registry).
   int64_t model_version = 0;
+  /// Size of the micro-batch this request was served in (1 on the shed
+  /// path).
+  int batch_size = 1;
+  /// Time this request waited in the queue from Submit to batch dispatch
+  /// (0 on the shed path). Distinct from the leader's linger: a follower
+  /// arriving mid-linger waits less than the full window, one parked
+  /// behind a full batch waits longer.
+  double queue_wait_ms = 0;
+  /// True when the queue was full and the request ran inline instead.
+  bool shed = false;
 };
 
 /// Coalesces concurrent Submit() calls into micro-batches using the
@@ -84,6 +95,12 @@ class BatchScheduler {
     BatchResult result;
     bool taken = false;
     bool done = false;
+    /// The submitter's trace context, captured at Submit so the leader
+    /// can attribute queue wait, shared batch stages, and this member's
+    /// decode back to the owning request's span tree.
+    obs::TraceContext ctx;
+    /// Submit time (ms since process start) for the queue-wait span.
+    double submit_ms = 0;
   };
 
   /// Runs batches (lock held on entry/exit) until `mine` is done, then

@@ -19,6 +19,12 @@ obs::Counter& SwapCounter() {
   return c;
 }
 
+obs::Counter& PublishFailureCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().counter(
+      "serve.registry.publish_failures");
+  return c;
+}
+
 }  // namespace
 
 ModelRegistry::ModelRegistry(std::shared_ptr<const core::M2g4Rtp> initial,
@@ -53,7 +59,12 @@ Result<int64_t> ModelRegistry::PublishFromFile(
     const core::ModelConfig& config, const std::string& path) {
   auto model = std::make_shared<core::M2g4Rtp>(config);
   const Status status = model->Load(path);
-  if (!status.ok()) return status;
+  if (!status.ok()) {
+    // A failed load never swaps: the previous snapshot keeps serving.
+    // The counter makes silent rollout failures visible on /metrics.
+    PublishFailureCounter().Increment();
+    return status;
+  }
   return Publish(std::move(model));
 }
 

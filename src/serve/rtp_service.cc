@@ -38,8 +38,17 @@ RtpService::Response RtpService::Handle(const RtpRequest& request) const {
 
   // Serving never backpropagates: skip all graph construction.
   NoGradGuard no_grad;
+  // The request trace owns this request's span tree and wide event; the
+  // serve.request.ms span right below becomes its root. Inert when a
+  // trace is already active on this thread (a nested Handle attributes
+  // to the outer request) or when obs is disabled.
+  obs::RequestTrace trace("rtp");
+  const TensorPool::ArenaCounters pool_before =
+      trace.active() ? pool_counters() : TensorPool::ArenaCounters{};
   obs::TraceSpan request_span("serve.request.ms", &request_hist);
   Response response;
+  obs::WideEvent& event = trace.event();
+  event.batched = scheduler_ != nullptr;
   if (scheduler_ != nullptr) {
     // Batching path: extract here, predict wherever the scheduler
     // coalesces us. The sample rides through the batch by move and comes
@@ -53,6 +62,8 @@ RtpService::Response RtpService::Handle(const RtpRequest& request) const {
     response.sample = std::move(result.sample);
     response.prediction = std::move(result.prediction);
     response.model_version = result.model_version;
+    event.batch_size = result.batch_size;
+    event.shed = result.shed;
   } else {
     // Legacy path. The request-scoped arena recycles every forward-pass
     // buffer through the thread-local pool — once a serving thread is
@@ -74,7 +85,31 @@ RtpService::Response RtpService::Handle(const RtpRequest& request) const {
   }
   requests_served_.fetch_add(1, std::memory_order_relaxed);
   requests_counter.Increment();
+  if (trace.active()) {
+    event.model_version = response.model_version;
+    event.num_locations = response.sample.num_locations();
+    event.num_aois = response.sample.num_aois();
+    event.route_length =
+        static_cast<int>(response.prediction.location_route.size());
+    event.beam_width = beam_width();
+    const TensorPool::ArenaCounters pool_after = pool_counters();
+    event.pool_hit_delta = pool_after.hits - pool_before.hits;
+    event.pool_miss_delta = pool_after.misses - pool_before.misses;
+  }
   return response;
+}
+
+int RtpService::beam_width() const {
+  if (model_ != nullptr) return model_->config().beam_width;
+  if (registry_ != nullptr) {
+    // Cheap atomic snapshot read; under a mid-request hot swap this may
+    // name the new snapshot's width, which is fine for a log field.
+    const std::shared_ptr<const ModelSnapshot> snapshot = registry_->Current();
+    if (snapshot != nullptr && snapshot->model != nullptr) {
+      return snapshot->model->config().beam_width;
+    }
+  }
+  return 0;
 }
 
 TensorPool::ArenaCounters RtpService::pool_counters() {

@@ -82,6 +82,9 @@ class RtpService {
   static TensorPool::ArenaCounters pool_counters();
 
  private:
+  /// Serving beam width for the wide event (0 if no model is resolvable).
+  int beam_width() const;
+
   FeatureExtractor extractor_;
   const core::M2g4Rtp* model_ = nullptr;
   const ModelRegistry* registry_ = nullptr;

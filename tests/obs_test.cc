@@ -1,18 +1,28 @@
 // Telemetry layer: counters, gauges, histogram bucket math, quantile
-// interpolation, cross-thread merge exactness, the trace ring and the
-// two exporters. The concurrent tests double as the TSan surface for
-// the lock-free recording paths.
+// interpolation, cross-thread merge exactness, the trace ring, request
+// trace trees + wide events, the admin endpoint and the exporters. The
+// concurrent tests double as the TSan surface for the lock-free
+// recording paths.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include <atomic>
+#include <cstdint>
 #include <cstdio>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "gtest/gtest.h"
+#include "obs/admin_server.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/trace_context.h"
+#include "obs/wide_event.h"
 
 namespace m2g::obs {
 namespace {
@@ -408,6 +418,426 @@ TEST(EnabledTest, DisabledCountersAndSpansAreNoOps) {
   EXPECT_EQ(h.Snapshot().count, 1u);
   SetEnabled(true);
   EXPECT_TRUE(Enabled());
+}
+
+TEST(TraceContextTest, ScopeInstallsAndRestoresNested) {
+  EXPECT_FALSE(CurrentTraceContext().active());
+  {
+    TraceContextScope outer(TraceContext{7, 1});
+    EXPECT_EQ(CurrentTraceContext().trace_id, 7u);
+    EXPECT_EQ(CurrentTraceContext().span_id, 1u);
+    {
+      TraceContextScope inner(TraceContext{9, 4});
+      EXPECT_EQ(CurrentTraceContext().trace_id, 9u);
+      EXPECT_EQ(CurrentTraceContext().span_id, 4u);
+    }
+    EXPECT_EQ(CurrentTraceContext().trace_id, 7u);
+    EXPECT_EQ(CurrentTraceContext().span_id, 1u);
+  }
+  EXPECT_FALSE(CurrentTraceContext().active());
+}
+
+TEST(TraceContextTest, ContextIsThreadLocal) {
+  TraceContextScope scope(TraceContext{11, 2});
+  TraceContext seen;
+  std::thread t([&seen] { seen = CurrentTraceContext(); });
+  t.join();
+  EXPECT_FALSE(seen.active());
+  EXPECT_EQ(CurrentTraceContext().trace_id, 11u);
+}
+
+uint64_t FixedIdSource() { return 4242; }
+
+TEST(TraceContextTest, IdSourceIsInjectableAndResettable) {
+  SetTraceIdSource(&FixedIdSource);
+  EXPECT_EQ(NextTraceId(), 4242u);
+  EXPECT_EQ(NextTraceId(), 4242u);
+  // ResetTraceIds restores the counter and rewinds it: deterministic
+  // ids for a deterministic workload.
+  ResetTraceIds(100);
+  EXPECT_EQ(NextTraceId(), 100u);
+  EXPECT_EQ(NextTraceId(), 101u);
+  ResetTraceIds();
+  EXPECT_EQ(NextTraceId(), 1u);
+  ResetTraceIds();
+}
+
+TEST(RequestTraceTest, BuildsTreeAccumulatesStagesAndEmitsWideEvent) {
+  M2G_SKIP_IF_OBS_DISABLED();
+  SetEnabled(true);
+  ClearTraceTrees();
+  WideEventSink::Global().Configure(WideEventOptions{});
+  ResetTraceIds(1);
+  {
+    RequestTrace trace("obs_test");
+    ASSERT_TRUE(trace.active());
+    EXPECT_EQ(trace.trace_id(), 1u);
+    trace.event().model_version = 7;
+    trace.event().batch_size = 3;
+    TraceSpan request("serve.request.ms");
+    { TraceSpan encode("serve.stage.encode.ms"); }
+    { TraceSpan decode("serve.stage.route_decode.ms"); }
+  }
+  const std::vector<TraceTree> trees = RecentTraceTrees();
+  ASSERT_EQ(trees.size(), 1u);
+  const TraceTree& tree = trees[0];
+  EXPECT_EQ(tree.trace_id, 1u);
+  EXPECT_EQ(tree.tag, "obs_test");
+  // Spans land in completion order: encode, decode, then the root.
+  ASSERT_EQ(tree.spans.size(), 3u);
+  const TraceEvent& encode = tree.spans[0];
+  const TraceEvent& decode = tree.spans[1];
+  const TraceEvent& root = tree.spans[2];
+  EXPECT_STREQ(root.stage, "serve.request.ms");
+  EXPECT_EQ(root.parent_span_id, 0u);
+  EXPECT_EQ(encode.parent_span_id, root.span_id);
+  EXPECT_EQ(decode.parent_span_id, root.span_id);
+  EXPECT_EQ(root.trace_id, 1u);
+  // Deterministic dense ids: root allocated first, then the children.
+  EXPECT_EQ(root.span_id, 2u);
+  EXPECT_EQ(encode.span_id, 3u);
+  EXPECT_EQ(decode.span_id, 4u);
+  // Child windows nest inside the root's window.
+  EXPECT_GE(encode.start_ms, root.start_ms);
+  EXPECT_LE(encode.duration_ms + decode.duration_ms,
+            root.duration_ms + 1e-6);
+
+  const std::vector<WideEvent> events = WideEventSink::Global().Recent();
+  ASSERT_EQ(events.size(), 1u);
+  const WideEvent& event = events[0];
+  EXPECT_EQ(event.trace_id, 1u);
+  EXPECT_EQ(event.tag, "obs_test");
+  EXPECT_EQ(event.model_version, 7);
+  EXPECT_EQ(event.batch_size, 3);
+  // The per-stage sums come from the tree, so tree and wide event agree
+  // by construction, and they fit inside the request's wall time.
+  EXPECT_DOUBLE_EQ(event.encode_ms, encode.duration_ms);
+  EXPECT_DOUBLE_EQ(event.decode_ms, decode.duration_ms);
+  EXPECT_LE(event.encode_ms + event.decode_ms, event.total_ms + 1e-6);
+  EXPECT_GE(event.total_ms, root.duration_ms);
+  ClearTraceTrees();
+  WideEventSink::Global().Clear();
+}
+
+TEST(RequestTraceTest, NestedTraceIsInertAndSpansLandInOuter) {
+  M2G_SKIP_IF_OBS_DISABLED();
+  SetEnabled(true);
+  ClearTraceTrees();
+  WideEventSink::Global().Configure(WideEventOptions{});
+  ResetTraceIds(1);
+  {
+    RequestTrace outer("outer");
+    ASSERT_TRUE(outer.active());
+    {
+      RequestTrace inner("inner");
+      EXPECT_FALSE(inner.active());
+      TraceSpan span("obs_test.nested");
+    }
+  }
+  const std::vector<TraceTree> trees = RecentTraceTrees();
+  ASSERT_EQ(trees.size(), 1u);
+  EXPECT_EQ(trees[0].tag, "outer");
+  ASSERT_EQ(trees[0].spans.size(), 1u);
+  EXPECT_STREQ(trees[0].spans[0].stage, "obs_test.nested");
+  // Only the outer trace emitted a wide event.
+  EXPECT_EQ(WideEventSink::Global().Recent().size(), 1u);
+  ClearTraceTrees();
+  WideEventSink::Global().Clear();
+}
+
+TEST(RequestTraceTest, DisabledTraceIsInert) {
+  M2G_SKIP_IF_OBS_DISABLED();
+  SetEnabled(false);
+  ClearTraceTrees();
+  {
+    RequestTrace trace("off");
+    EXPECT_FALSE(trace.active());
+    EXPECT_EQ(trace.trace_id(), 0u);
+    trace.event().model_version = 9;  // dropped, must not crash
+  }
+  EXPECT_TRUE(RecentTraceTrees().empty());
+  SetEnabled(true);
+}
+
+TEST(RequestTraceTest, ExternalAndSharedSpansAttachCrossThread) {
+  M2G_SKIP_IF_OBS_DISABLED();
+  SetEnabled(true);
+  ClearTraceTrees();
+  WideEventSink::Global().Configure(WideEventOptions{});
+  ResetTraceIds(1);
+  Histogram wait_hist(DefaultLatencyBucketsMs());
+  {
+    RequestTrace trace("member");
+    const TraceContext ctx = trace.context();
+    ASSERT_TRUE(ctx.active());
+    // Another thread (the batch leader) attributes queue wait and the
+    // shared encode span back to this member via its captured context.
+    std::thread leader([&ctx, &wait_hist] {
+      RecordExternalSpan(ctx, "serve.batch.queue_wait.ms", 1.0, 2.5,
+                         &wait_hist, 4);
+      RecordSharedSpanRef(ctx, "serve.stage.encode.ms", 777, 3.0, 1.5, 4);
+    });
+    leader.join();
+  }
+  // The external span fed its histogram; the shared *reference* did not
+  // (the shared span itself recorded the stage once for the batch).
+  EXPECT_EQ(wait_hist.Snapshot().count, 1u);
+  const std::vector<TraceTree> trees = RecentTraceTrees();
+  ASSERT_EQ(trees.size(), 1u);
+  ASSERT_EQ(trees[0].spans.size(), 2u);
+  const TraceEvent& wait = trees[0].spans[0];
+  const TraceEvent& shared = trees[0].spans[1];
+  EXPECT_STREQ(wait.stage, "serve.batch.queue_wait.ms");
+  EXPECT_EQ(wait.ref_span_id, 0u);
+  EXPECT_EQ(wait.batch_size, 4);
+  EXPECT_DOUBLE_EQ(wait.duration_ms, 2.5);
+  EXPECT_STREQ(shared.stage, "serve.stage.encode.ms");
+  EXPECT_EQ(shared.ref_span_id, 777u);
+  EXPECT_DOUBLE_EQ(shared.duration_ms, 1.5);
+  // Both landed in the wide event's per-stage sums.
+  const std::vector<WideEvent> events = WideEventSink::Global().Recent();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_DOUBLE_EQ(events[0].queue_wait_ms, 2.5);
+  EXPECT_DOUBLE_EQ(events[0].encode_ms, 1.5);
+  ClearTraceTrees();
+  WideEventSink::Global().Clear();
+}
+
+TEST(BatchTraceTest, OpensTaggedRootAndPushesBatchTree) {
+  M2G_SKIP_IF_OBS_DISABLED();
+  SetEnabled(true);
+  ClearTraceTrees();
+  ResetTraceIds(1);
+  {
+    BatchTrace batch(5);
+    ASSERT_TRUE(batch.active());
+    TraceSpan shared("serve.stage.graph_build.ms");
+  }
+  const std::vector<TraceTree> trees = RecentTraceTrees();
+  ASSERT_EQ(trees.size(), 1u);
+  EXPECT_EQ(trees[0].tag, "batch");
+  ASSERT_EQ(trees[0].spans.size(), 2u);
+  EXPECT_STREQ(trees[0].spans[0].stage, "serve.stage.graph_build.ms");
+  EXPECT_STREQ(trees[0].spans[1].stage, "serve.batch.execute.ms");
+  EXPECT_EQ(trees[0].spans[1].batch_size, 5);
+  EXPECT_EQ(trees[0].spans[0].parent_span_id, trees[0].spans[1].span_id);
+  ClearTraceTrees();
+}
+
+TEST(WideEventTest, HeadSamplingKeepsEveryNthTailKeepsSlow) {
+  M2G_SKIP_IF_OBS_DISABLED();
+  SetEnabled(true);
+  WideEventSink sink;
+  WideEventOptions options;
+  options.head_sample_every = 3;
+  options.tail_keep_over_ms = 100.0;
+  sink.Configure(options);
+  for (int i = 0; i < 9; ++i) {
+    WideEvent event;
+    event.trace_id = static_cast<uint64_t>(i + 1);
+    event.total_ms = i == 4 ? 250.0 : 1.0;  // one slow outlier
+    sink.Record(event);
+  }
+  // Head keeps seq 0, 3, 6; tail rescues the slow seq-4 event.
+  const std::vector<WideEvent> kept = sink.Recent();
+  ASSERT_EQ(kept.size(), 4u);
+  EXPECT_EQ(kept[0].trace_id, 1u);
+  EXPECT_EQ(kept[1].trace_id, 4u);
+  EXPECT_EQ(kept[2].trace_id, 5u);
+  EXPECT_EQ(kept[3].trace_id, 7u);
+  EXPECT_EQ(sink.recorded(), 4u);
+  EXPECT_EQ(sink.sampled_out(), 5u);
+}
+
+TEST(WideEventTest, HeadZeroKeepsOnlyTail) {
+  M2G_SKIP_IF_OBS_DISABLED();
+  SetEnabled(true);
+  WideEventSink sink;
+  WideEventOptions options;
+  options.head_sample_every = 0;
+  options.tail_keep_over_ms = 50.0;
+  sink.Configure(options);
+  WideEvent fast;
+  fast.total_ms = 1.0;
+  WideEvent slow;
+  slow.total_ms = 60.0;
+  sink.Record(fast);
+  sink.Record(slow);
+  const std::vector<WideEvent> kept = sink.Recent();
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_DOUBLE_EQ(kept[0].total_ms, 60.0);
+}
+
+TEST(WideEventTest, RingWrapsKeepingNewestOldestFirst) {
+  M2G_SKIP_IF_OBS_DISABLED();
+  SetEnabled(true);
+  WideEventSink sink;
+  WideEventOptions options;
+  options.ring_capacity = 3;
+  sink.Configure(options);
+  for (int i = 1; i <= 5; ++i) {
+    WideEvent event;
+    event.trace_id = static_cast<uint64_t>(i);
+    sink.Record(event);
+  }
+  const std::vector<WideEvent> kept = sink.Recent();
+  ASSERT_EQ(kept.size(), 3u);
+  EXPECT_EQ(kept[0].trace_id, 3u);
+  EXPECT_EQ(kept[2].trace_id, 5u);
+}
+
+TEST(WideEventTest, ToJsonLineEscapesControlBytes) {
+  WideEvent event;
+  event.tag = "a\"b\\c\nd\x01" "e";  // split: \x01e would parse as \x1e
+  event.total_ms = 12.5;
+  const std::string line = WideEventSink::ToJsonLine(event);
+  EXPECT_NE(line.find("\"tag\": \"a\\\"b\\\\c\\nd\\u0001e\""),
+            std::string::npos)
+      << line;
+  EXPECT_NE(line.find("\"total_ms\": 12.5"), std::string::npos) << line;
+  // No raw control bytes survive escaping.
+  for (char c : line) {
+    EXPECT_GE(static_cast<unsigned char>(c), 0x20u) << line;
+  }
+}
+
+TEST(ExportTest, JsonEscapeCoversRfc8259) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("q\"b\\"), "q\\\"b\\\\");
+  EXPECT_EQ(JsonEscape("\b\f\n\r\t"), "\\b\\f\\n\\r\\t");
+  EXPECT_EQ(JsonEscape(std::string("\x1f", 1)), "\\u001f");
+}
+
+TEST(ExportTest, TracesJsonNestsChildrenUnderParents) {
+  M2G_SKIP_IF_OBS_DISABLED();
+  SetEnabled(true);
+  ClearTraceTrees();
+  ResetTraceIds(1);
+  {
+    RequestTrace trace("json");
+    TraceSpan root("serve.request.ms");
+    TraceSpan child("serve.stage.encode.ms");
+  }
+  const std::string json = ExportTracesJson();
+  EXPECT_NE(json.find("\"tag\": \"json\""), std::string::npos) << json;
+  // The encode span renders nested inside the request root's children
+  // array, not as a second top-level span.
+  const size_t root_at = json.find("serve.request.ms");
+  const size_t child_at = json.find("serve.stage.encode.ms");
+  ASSERT_NE(root_at, std::string::npos) << json;
+  ASSERT_NE(child_at, std::string::npos) << json;
+  EXPECT_LT(root_at, child_at);
+  EXPECT_NE(json.find("\"children\": [{\"stage\": "
+                      "\"serve.stage.encode.ms\""),
+            std::string::npos)
+      << json;
+  ClearTraceTrees();
+}
+
+TEST(ExportTest, WriteFileAtomicReplacesAndLeavesNoTmp) {
+  const std::string path = "obs_test_atomic.txt";
+  ASSERT_TRUE(WriteFileAtomic(path, "first"));
+  ASSERT_TRUE(WriteFileAtomic(path, "second"));
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char buf[32] = {0};
+  const size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+  std::fclose(f);
+  EXPECT_EQ(std::string(buf, n), "second");
+  // The staging file never survives a successful write.
+  std::FILE* tmp = std::fopen((path + ".tmp").c_str(), "r");
+  EXPECT_EQ(tmp, nullptr);
+  if (tmp != nullptr) std::fclose(tmp);
+  std::remove(path.c_str());
+}
+
+TEST(AdminServerTest, HandlePathRoutesEveryEndpoint) {
+  MetricsRegistry::Global().counter("obs_test.admin").Increment();
+  AdminOptions options;
+  options.extra_health_json = [] {
+    return std::string("\"model_version\": 3");
+  };
+  AdminServer server(options);
+  const HttpResponse metrics = server.HandlePath("/metrics");
+  EXPECT_EQ(metrics.status, 200);
+  EXPECT_NE(metrics.content_type.find("text/plain"), std::string::npos);
+  EXPECT_NE(metrics.body.find("# TYPE"), std::string::npos);
+  const HttpResponse json = server.HandlePath("/metrics.json");
+  EXPECT_EQ(json.status, 200);
+  EXPECT_EQ(json.content_type, "application/json");
+  EXPECT_EQ(json.body.front(), '{');
+  EXPECT_EQ(server.HandlePath("/traces").body.front(), '[');
+  EXPECT_EQ(server.HandlePath("/events").body.front(), '[');
+  const HttpResponse health = server.HandlePath("/healthz");
+  EXPECT_EQ(health.status, 200);
+  EXPECT_NE(health.body.find("\"status\": \"ok\""), std::string::npos);
+  EXPECT_NE(health.body.find("\"model_version\": 3"), std::string::npos);
+  EXPECT_EQ(server.HandlePath("/").status, 200);
+  EXPECT_EQ(server.HandlePath("/nope").status, 404);
+}
+
+/// Minimal blocking HTTP GET against loopback for the socket tests.
+std::string HttpGet(int port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return {};
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return {};
+  }
+  const std::string req = "GET " + path +
+                          " HTTP/1.1\r\nHost: localhost\r\n"
+                          "Connection: close\r\n\r\n";
+  size_t sent = 0;
+  while (sent < req.size()) {
+    const ssize_t n = ::send(fd, req.data() + sent, req.size() - sent, 0);
+    if (n <= 0) break;
+    sent += static_cast<size_t>(n);
+  }
+  std::string out;
+  char buf[2048];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    out.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+TEST(AdminServerTest, ServesConcurrentScrapesOverRealSockets) {
+  MetricsRegistry::Global().counter("obs_test.admin").Increment();
+  AdminServer server;  // port 0: ephemeral
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+  ASSERT_TRUE(server.running());
+  ASSERT_GT(server.port(), 0);
+  constexpr int kClients = 4;
+  constexpr int kScrapes = 5;
+  std::atomic<int> ok{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kClients; ++t) {
+    clients.emplace_back([&server, &ok] {
+      for (int i = 0; i < kScrapes; ++i) {
+        const std::string resp = HttpGet(server.port(), "/metrics");
+        if (resp.find("200 OK") != std::string::npos &&
+            resp.find("# TYPE") != std::string::npos) {
+          ok.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& c : clients) c.join();
+  EXPECT_EQ(ok.load(), kClients * kScrapes);
+  EXPECT_GE(server.requests_served(),
+            static_cast<uint64_t>(kClients * kScrapes));
+  // A second Start while running fails cleanly.
+  EXPECT_FALSE(server.Start(&error));
+  server.Stop();
+  EXPECT_FALSE(server.running());
+  server.Stop();  // idempotent
 }
 
 TEST(ThreadSlotTest, StableWithinThreadAndBounded) {
