@@ -64,6 +64,16 @@ struct ModelConfig {
   /// this is the A/B kill switch for bench_encode_fastpath and the
   /// parity suite.
   bool encode_fast_path = true;
+  /// Kill switch for the delta-aware encode sessions: with it off,
+  /// PredictIncremental always re-encodes from scratch (bitwise-identical
+  /// either way — the delta path is an arithmetic shortcut, not a model
+  /// change). Requires encode_fast_path and the GAT-e encoder to engage.
+  bool incremental_encode = true;
+  /// Staleness policy: every k-th prediction through a session performs
+  /// a full re-encode even when a delta would apply, bounding how long
+  /// any cached representation chain can grow. 1 disables deltas
+  /// entirely; large values trust the bitwise-parity guarantee.
+  int incremental_refresh_period = 64;
 
   graph::GraphConfig graph;
 };

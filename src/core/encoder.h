@@ -4,11 +4,15 @@
 #include <memory>
 #include <vector>
 
+#include <optional>
+
 #include "core/feature_embed.h"
 #include "core/gat_e.h"
 #include "nn/lstm_cell.h"
 
 namespace m2g::core {
+
+struct LevelEncodeCache;  // core/incremental_encode.h
 
 /// Encoder for one graph level: raw features -> embeddings (Eq. 18-19)
 /// -> K GAT-e layers (Eq. 20-26) -> node representations x~.
@@ -66,6 +70,34 @@ class LevelEncoder : public nn::Module {
       const std::vector<const graph::LevelGraph*>& levels,
       const std::vector<const Tensor*>& global_embeds,
       EncodePlan* plan) const;
+
+  /// EncodeFast that also warms an encode-session cache: per-layer node
+  /// and edge representations plus the per-head z*W3 / s_edge
+  /// intermediates are snapshotted into `cache` (sized/grown here) as
+  /// the forward runs. The returned encodings are bitwise-identical to
+  /// EncodeFast — the cache writes are pure copies. Defined in
+  /// core/incremental_encode.cc.
+  EncodedLevel EncodeFastCached(const graph::LevelGraph& level,
+                                const Tensor& global_embed,
+                                EncodePlan* plan,
+                                LevelEncodeCache* cache) const;
+
+  /// Incremental re-encode against a warm cache: `delta` describes how
+  /// `level` evolved from `prev` (the graph `cache` encodes), and only
+  /// the attention rows / edge pairs whose inputs or masks changed are
+  /// recomputed per GAT-e layer. On success the cache is advanced to
+  /// `level` and the returned encodings are bitwise-identical to
+  /// EncodeFast(level, ...). Returns nullopt — cache contents then
+  /// unspecified, caller must full-encode — when the delta is not
+  /// single-node-explainable, exceeds the cache capacity, or dirties
+  /// more than half the nodes (a delta would cost more than it saves).
+  /// Defined in core/incremental_encode.cc.
+  std::optional<EncodedLevel> EncodeDelta(const graph::LevelGraph& level,
+                                          const graph::LevelGraph& prev,
+                                          const graph::LevelGraphDelta& delta,
+                                          const Tensor& global_embed,
+                                          EncodePlan* plan,
+                                          LevelEncodeCache* cache) const;
 
  private:
   EncodedLevel EncodeWithGat(const Tensor& nodes, const Tensor& edges,

@@ -1,6 +1,7 @@
 #include "core/gat_e.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "common/string_util.h"
 #include "nn/init.h"
@@ -146,13 +147,17 @@ void GatELayer::ForwardFast(const Matrix& nodes, const Matrix& edges,
   ForwardFastBatch({{&nodes, &edges, &adjacency, 0}}, plan);
 }
 
-void GatELayer::ForwardFastBatch(const std::vector<GatEFastItem>& items,
-                                 EncodePlan* plan) const {
+void GatELayer::ForwardFastBatch(
+    const std::vector<GatEFastItem>& items, EncodePlan* plan,
+    const std::vector<GatECapture*>* captures) const {
   const int d = hidden_dim_;
   const int dh = head_dim_;
   M2G_CHECK(!GradMode::enabled());
   M2G_CHECK(!items.empty());
   M2G_CHECK_EQ(plan->hidden_dim, d);
+  if (captures != nullptr) {
+    M2G_CHECK_EQ(captures->size(), items.size());
+  }
   for (const GatEFastItem& item : items) {
     const int n = item.nodes->rows();
     M2G_CHECK_EQ(item.nodes->cols(), d);
@@ -200,6 +205,22 @@ void GatELayer::ForwardFastBatch(const std::vector<GatEFastItem>& items,
     }
     MatMulManyInto(slices.data(), static_cast<int>(slices.size()), d,
                    head.ae.value().data(), 1);
+    if (captures != nullptr) {
+      // Donate this head's s_edge column to the session cache, re-laid
+      // from dense (i*n + j) rows to padded (i*block + j) rows.
+      for (size_t s = 0; s < items.size(); ++s) {
+        GatECapture* cap = (*captures)[s];
+        if (cap == nullptr) continue;
+        const int n = items[s].nodes->rows();
+        const float* src = plan->s_edge_page(items[s].page);
+        float* out = cap->se[p];
+        for (int i = 0; i < n; ++i) {
+          std::copy(src + static_cast<size_t>(i) * n,
+                    src + static_cast<size_t>(i) * n + n,
+                    out + static_cast<size_t>(i) * cap->block);
+        }
+      }
+    }
     for (size_t s = 0; s < items.size(); ++s) {
       slices[s] = {items[s].nodes->data(), items[s].nodes->rows(),
                    plan->msg_page(items[s].page)};
@@ -230,7 +251,10 @@ void GatELayer::ForwardFastBatch(const std::vector<GatEFastItem>& items,
     // sequential elementwise adds of the legacy epilogue (Eq. 26).
     const int col0 = last ? 0 : p * dh;
 
-    for (const GatEFastItem& item : items) {
+    for (size_t s = 0; s < items.size(); ++s) {
+      const GatEFastItem& item = items[s];
+      GatECapture* capture =
+          captures != nullptr ? (*captures)[s] : nullptr;
       const int n = item.nodes->rows();
       const std::vector<bool>& adjacency = *item.adjacency;
       float* node_out = plan->node_out_page(item.page);
@@ -277,6 +301,13 @@ void GatELayer::ForwardFastBatch(const std::vector<GatEFastItem>& items,
           std::fill(dst, dst + dh, 0.0f);
           AccumulateRowMatMul(item.edges->data() + r * d, d,
                               head.w3.value().data(), dh, dst);
+          if (capture != nullptr) {
+            // dst holds exactly z_ij * W3 here (pre-epilogue): the value
+            // the delta path caches per (layer, head, pair).
+            std::copy(dst, dst + dh,
+                      capture->ew3[p] +
+                          (static_cast<size_t>(i) * capture->block + j) * dh);
+          }
           for (int c = 0; c < dh; ++c) {
             const float t = nw4_row[c] + nw5_row[c];
             const float v = dst[c] + t;
@@ -305,6 +336,215 @@ void GatELayer::ForwardFastBatch(const std::vector<GatEFastItem>& items,
       }
       const size_t nnd = static_cast<size_t>(n) * n * d;
       for (size_t t = 0; t < nnd; ++t) edge_out[t] *= inv;
+    }
+  }
+}
+
+void GatELayer::ForwardFastDelta(GatEDeltaItem* item,
+                                 EncodePlan* plan) const {
+  const int d = hidden_dim_;
+  const int dh = head_dim_;
+  const int n = item->n;
+  const int block = item->block;
+  M2G_CHECK(!GradMode::enabled());
+  M2G_CHECK_EQ(plan->hidden_dim, d);
+  M2G_CHECK_GE(plan->max_nodes, n);
+  M2G_CHECK_GE(block, n);
+  M2G_CHECK_EQ(item->adjacency->size(), static_cast<size_t>(n) * n);
+  const std::vector<bool>& adjacency = *item->adjacency;
+
+  // Which attention rows must rerun: a row's alpha depends on its mask
+  // membership, its own projections (s_src[i], and msg rows it
+  // aggregates), s_dst / msg of every unmasked neighbour, and the s_edge
+  // entries of its unmasked columns (which follow the pair's z). Rows
+  // where none of those changed keep their cached aggregate bit for bit
+  // — including across an insertion whose new column is masked out,
+  // because MaskedSoftmaxRowRaw writes exact zeros for masked entries
+  // and AccumulateRowMatMul skips zero coefficients.
+  std::vector<unsigned char> row_rec(n, 0);
+  for (int i = 0; i < n; ++i) {
+    if (item->row_changed[i] || item->node_dirty[i]) {
+      row_rec[i] = 1;
+      continue;
+    }
+    const size_t base = static_cast<size_t>(i) * n;
+    for (int j = 0; j < n; ++j) {
+      if (adjacency[base + j] &&
+          (item->node_dirty[j] || item->pair_dirty[base + j])) {
+        row_rec[i] = 1;
+        break;
+      }
+    }
+  }
+  // Which edge pairs must rerun: Eq. 23 reads z_ij, h_i and h_j (no
+  // mask), so a pair reruns iff any of the three changed.
+  std::vector<unsigned char> pair_rec(static_cast<size_t>(n) * n, 0);
+  for (int i = 0; i < n; ++i) {
+    const size_t base = static_cast<size_t>(i) * n;
+    for (int j = 0; j < n; ++j) {
+      pair_rec[base + j] = (item->pair_dirty[base + j] ||
+                            item->node_dirty[i] || item->node_dirty[j])
+                               ? 1
+                               : 0;
+    }
+  }
+
+  const bool last = is_last_;
+  float* node_out = plan->node_out_page(0);
+  float* edge_out = plan->edge_out_page(0);
+  for (int p = 0; p < num_heads_; ++p) {
+    const Head& head = heads_[p];
+    // Per-node projections are recomputed in full: they are O(n d dh) —
+    // noise next to the n^2 terms — and a full MatMulInto reproduces the
+    // warm forward's bits for clean rows for free.
+    MatMulInto(item->h_in, n, d, head.w1.value().data(), dh,
+               plan->wh_page(0));
+    MatMulInto(plan->wh_page(0), n, dh, head.av_src.value().data(), 1,
+               plan->s_src_page(0));
+    MatMulInto(plan->wh_page(0), n, dh, head.av_dst.value().data(), 1,
+               plan->s_dst_page(0));
+    MatMulInto(item->h_in, n, d, head.w2.value().data(), dh,
+               plan->msg_page(0));
+    MatMulInto(item->h_in, n, d, head.w4.value().data(), dh,
+               plan->nw4_page(0));
+    MatMulInto(item->h_in, n, d, head.w5.value().data(), dh,
+               plan->nw5_page(0));
+    const float* s_src = plan->s_src_page(0);
+    const float* s_dst = plan->s_dst_page(0);
+    const float* msg = plan->msg_page(0);
+    const float* nw4 = plan->nw4_page(0);
+    const float* nw5 = plan->nw5_page(0);
+
+    // s_edge updates for pairs whose z_l changed (one row of the batch
+    // kernel: zeroed accumulator + AccumulateRowMatMul — MatMulInto's
+    // exact bits for that row).
+    float* se = item->se[p];
+    for (int i = 0; i < n; ++i) {
+      const size_t base = static_cast<size_t>(i) * n;
+      const size_t pbase = static_cast<size_t>(i) * block;
+      for (int j = 0; j < n; ++j) {
+        if (!item->pair_dirty[base + j]) continue;
+        float* dst = se + pbase + j;
+        *dst = 0.0f;
+        AccumulateRowMatMul(item->z_in + (pbase + j) * d, d,
+                            head.ae.value().data(), 1, dst);
+      }
+    }
+
+    const int col0 = last ? 0 : p * dh;
+    // Attention rows (Eq. 20-22), only the recompute set; cached rows of
+    // h_out are left untouched.
+    for (int i = 0; i < n; ++i) {
+      if (!row_rec[i]) continue;
+      const size_t base = static_cast<size_t>(i) * n;
+      GatLogitsRow(s_dst, se + static_cast<size_t>(i) * block, s_src[i],
+                   leaky_slope_, n, plan->logits.data());
+      MaskedSoftmaxRowRaw(plan->logits.data(), adjacency, base, n,
+                          plan->alpha.data());
+      float* dst = (last && p > 0)
+                       ? plan->row.data()
+                       : node_out + static_cast<size_t>(i) * d + col0;
+      std::fill(dst, dst + dh, 0.0f);
+      AccumulateRowMatMul(plan->alpha.data(), n, msg, dh, dst);
+      if (!last) {
+        for (int c = 0; c < dh; ++c) {
+          dst[c] = dst[c] > 0.0f ? dst[c] : 0.0f;
+        }
+      } else if (p > 0) {
+        float* acc = node_out + static_cast<size_t>(i) * d;
+        for (int c = 0; c < dh; ++c) acc[c] += dst[c];
+      }
+    }
+
+    // Edge updates (Eq. 23/25), only the recompute set. Pairs with a
+    // clean z but a dirty endpoint reuse the cached z*W3 product and pay
+    // only the dh-wide epilogue.
+    for (int i = 0; i < n; ++i) {
+      const float* nw4_row = nw4 + static_cast<size_t>(i) * dh;
+      const size_t base = static_cast<size_t>(i) * n;
+      const size_t pbase = static_cast<size_t>(i) * block;
+      for (int j = 0; j < n; ++j) {
+        if (!pair_rec[base + j]) continue;
+        const size_t r = base + j;
+        float* e3 = item->ew3[p] + (pbase + j) * dh;
+        if (item->pair_dirty[r]) {
+          std::fill(e3, e3 + dh, 0.0f);
+          AccumulateRowMatMul(item->z_in + (pbase + j) * d, d,
+                              head.w3.value().data(), dh, e3);
+        }
+        const float* nw5_row = nw5 + static_cast<size_t>(j) * dh;
+        float* dst =
+            (last && p > 0) ? plan->row.data() : edge_out + r * d + col0;
+        for (int c = 0; c < dh; ++c) {
+          const float t = nw4_row[c] + nw5_row[c];
+          const float v = e3[c] + t;
+          dst[c] = v > 0.0f ? v : 0.0f;
+        }
+        if (last && p > 0) {
+          float* acc = edge_out + r * d;
+          for (int c = 0; c < dh; ++c) acc[c] += dst[c];
+        }
+      }
+    }
+  }
+
+  if (last) {
+    // Eq. 26 epilogue over the recomputed rows/pairs only.
+    const float inv = 1.0f / static_cast<float>(num_heads_);
+    for (int i = 0; i < n; ++i) {
+      if (!row_rec[i]) continue;
+      float* row = node_out + static_cast<size_t>(i) * d;
+      for (int c = 0; c < d; ++c) {
+        const float v = row[c] * inv;
+        row[c] = v > 0.0f ? v : 0.0f;
+      }
+    }
+    for (size_t r = 0, nn = static_cast<size_t>(n) * n; r < nn; ++r) {
+      if (!pair_rec[r]) continue;
+      float* row = edge_out + r * d;
+      for (int c = 0; c < d; ++c) row[c] *= inv;
+    }
+  }
+
+  // Residual + write-back: h_{l+1}[i] = h_l[i] + node_out[i] (the same
+  // per-element addition order as the full path's in-place residual).
+  // Each recomputed row is compared against its cached successor before
+  // overwrite so the next layer's dirty set stays tight; rows with no
+  // history (fresh nodes) are dirty by definition.
+  float* scratch = plan->row.data();  // (1, d); free after the head loop
+  for (int i = 0; i < n; ++i) {
+    if (!row_rec[i]) {
+      item->out_node_dirty[i] = 0;
+      continue;
+    }
+    const float* hi = item->h_in + static_cast<size_t>(i) * d;
+    const float* no = node_out + static_cast<size_t>(i) * d;
+    for (int c = 0; c < d; ++c) scratch[c] = hi[c] + no[c];
+    float* cached = item->h_out + static_cast<size_t>(i) * d;
+    const bool dirty =
+        item->fresh[i] ||
+        std::memcmp(scratch, cached, sizeof(float) * d) != 0;
+    item->out_node_dirty[i] = dirty ? 1 : 0;
+    if (dirty) std::copy(scratch, scratch + d, cached);
+  }
+  for (int i = 0; i < n; ++i) {
+    const size_t base = static_cast<size_t>(i) * n;
+    const size_t pbase = static_cast<size_t>(i) * block;
+    for (int j = 0; j < n; ++j) {
+      const size_t r = base + j;
+      if (!pair_rec[r]) {
+        item->out_pair_dirty[r] = 0;
+        continue;
+      }
+      const float* zi = item->z_in + (pbase + j) * d;
+      const float* eo = edge_out + r * d;
+      for (int c = 0; c < d; ++c) scratch[c] = zi[c] + eo[c];
+      float* cached = item->z_out + (pbase + j) * d;
+      const bool dirty =
+          item->fresh[i] || item->fresh[j] ||
+          std::memcmp(scratch, cached, sizeof(float) * d) != 0;
+      item->out_pair_dirty[r] = dirty ? 1 : 0;
+      if (dirty) std::copy(scratch, scratch + d, cached);
     }
   }
 }

@@ -27,6 +27,44 @@ struct GatEFastItem {
   int page = 0;                              // plan page owned by this item
 };
 
+/// Destination buffers for the per-head intermediates a warming encode
+/// donates to an encode-session cache (core/incremental_encode): the
+/// Eq. 23 z*W3 product and the Eq. 20 s_edge column, per head, stored in
+/// row blocks of `block` entries so pair (i, j) lands at row i*block + j
+/// regardless of n. Capturing is a pure copy of values ForwardFastBatch
+/// computes anyway — the forward's arithmetic and outputs are untouched.
+struct GatECapture {
+  int block = 0;               // pair-row stride, >= n
+  std::vector<float*> ew3;     // per head: rows of head_dim floats
+  std::vector<float*> se;      // per head: rows of 1 float
+};
+
+/// One level's slice of an incremental re-encode step
+/// (LevelEncoder::EncodeDelta): the layer's input/output node and edge
+/// representations live in an encode-session cache (padded pair stride
+/// `block`), and the dirty flags say which of them changed bitwise since
+/// the cached forward. ForwardFastDelta recomputes exactly the rows whose
+/// inputs (or softmax masks) changed and reuses every other cached value
+/// — reuse is bitwise-exact because every kernel involved is
+/// deterministic and row-local (see incremental_encode.cc).
+struct GatEDeltaItem {
+  int n = 0;
+  const std::vector<bool>* adjacency = nullptr;  // current graph's mask
+  const float* h_in = nullptr;   // (n, d) rows of the layer-input nodes
+  const float* z_in = nullptr;   // pair rows at stride `block`
+  float* h_out = nullptr;        // cached next-layer nodes, updated in place
+  float* z_out = nullptr;        // cached next-layer edges, updated in place
+  int block = 0;                 // pair-row stride of z/ew3/se buffers
+  std::vector<float*> ew3;       // per head: cached z_l * W3 rows, updated
+  std::vector<float*> se;        // per head: cached s_edge rows, updated
+  const unsigned char* node_dirty = nullptr;   // n: h_in row changed
+  const unsigned char* pair_dirty = nullptr;   // n*n dense: z_in pair changed
+  const unsigned char* row_changed = nullptr;  // n: softmax mask membership changed
+  const unsigned char* fresh = nullptr;        // n: node has no cached history
+  unsigned char* out_node_dirty = nullptr;     // n: h_out row changed
+  unsigned char* out_pair_dirty = nullptr;     // n*n dense: z_out pair changed
+};
+
 /// The paper's GAT-e module (Eq. 20-26): an edge-aware graph attention
 /// layer that (a) mixes edge embeddings into the attention coefficients
 /// via the a_e term and (b) updates edge representations from the incident
@@ -63,8 +101,30 @@ class GatELayer : public nn::Module {
   /// exactly the bits ForwardFast(item i) would have produced.
   /// ForwardFast is the single-item special case of this entry point.
   /// Requires GradMode disabled and distinct pages < plan->batch_capacity.
+  ///
+  /// `captures`, when given, holds one (possibly null) GatECapture per
+  /// item whose buffers receive the per-head z*W3 and s_edge
+  /// intermediates — the warm-up donation for incremental re-encode.
+  /// Passing it changes no output bit.
   void ForwardFastBatch(const std::vector<GatEFastItem>& items,
-                        EncodePlan* plan) const;
+                        EncodePlan* plan,
+                        const std::vector<GatECapture*>* captures =
+                            nullptr) const;
+
+  /// Incremental re-encode of one layer: recomputes attention rows whose
+  /// mask or inputs changed and edge pairs with a changed endpoint or
+  /// edge representation, reusing every other cached value bit for bit;
+  /// writes the surviving layer outputs into item->h_out/z_out in place
+  /// and reports which of them actually changed (out_*_dirty) so the
+  /// next layer's delta stays minimal. Bitwise-identical to running
+  /// ForwardFast on the full current inputs (incremental_encode_test).
+  /// Requires GradMode disabled.
+  void ForwardFastDelta(GatEDeltaItem* item, EncodePlan* plan) const;
+
+  int num_heads() const { return num_heads_; }
+  /// Output width of one head: hidden/P on hidden layers, hidden on the
+  /// last (Eq. 24 vs 26).
+  int head_dim() const { return head_dim_; }
 
  private:
   struct Head {

@@ -13,6 +13,9 @@
 
 namespace m2g::core {
 
+struct IncrementalState;   // core/incremental_encode.h
+struct IncrementalResult;  // core/incremental_encode.h
+
 /// Joint route-and-time prediction for one request (Eq. 10): location
 /// route & per-location arrival gaps, plus the AOI-level outputs when the
 /// model runs multi-level.
@@ -53,6 +56,24 @@ class M2g4Rtp : public nn::Module {
 
   /// Greedy joint prediction (§IV-D).
   RtpPrediction Predict(const synth::Sample& sample) const;
+
+  /// Predict through a per-courier incremental-encode session: when the
+  /// request's level graphs differ from `state`'s cached graphs by at
+  /// most one inserted/removed node per level (and the global embedding
+  /// is unchanged), only the affected GAT-e attention rows and edge
+  /// pairs are re-encoded (LevelEncoder::EncodeDelta); otherwise — cold
+  /// state, structural diff, capacity overflow, k-th-update refresh, or
+  /// the ModelConfig::incremental_encode kill switch — it performs a
+  /// full encode and (when sessions are enabled) rewarms the state.
+  /// The prediction is bitwise-identical to Predict(sample) in every
+  /// case (incremental_encode_test). Records encode.delta_steps /
+  /// encode.full_fallbacks and the encode.delta.ms span. Not
+  /// thread-safe per state: callers serialize on the owning session.
+  /// Defined in core/incremental_encode.cc.
+  RtpPrediction PredictIncremental(const synth::Sample& sample,
+                                   IncrementalState* state,
+                                   IncrementalResult* result =
+                                       nullptr) const;
 
   /// Micro-batched prediction for the serving layer: result s is
   /// bitwise-identical to Predict(*samples[s]) for every sample

@@ -39,6 +39,62 @@ struct MultiLevelGraph {
   std::vector<int> loc_to_aoi;  // E^la: location idx -> AOI node idx
 };
 
+/// Classification of how one level graph evolved into another, from the
+/// incremental re-encode path's point of view: a single order arriving
+/// (kInsert) or completing (kRemove) is delta-encodable, as is a pure
+/// feature drift on an aligned node set (kSameNodes); anything the
+/// per-node alignment cannot explain — permutations, multi-node churn,
+/// count jumps — is kStructural and falls back to a full encode.
+enum class LevelDeltaKind {
+  /// Same nodes, adjacency and edge features, bit for bit.
+  kIdentical,
+  /// Same node count with index-aligned nodes (not a permutation);
+  /// features/edges may differ row-by-row — the delta encoder dirties
+  /// exactly the changed rows.
+  kSameNodes,
+  /// `after` is `before` with one node inserted at index `pos`.
+  kInsert,
+  /// `after` is `before` with the node at before-index `pos` removed.
+  kRemove,
+  /// Not explainable as a single-node delta (includes permutations).
+  kStructural,
+};
+
+struct LevelGraphDelta {
+  LevelDeltaKind kind = LevelDeltaKind::kStructural;
+  /// kInsert: after-index of the new node. kRemove: before-index of the
+  /// removed node. -1 otherwise.
+  int pos = -1;
+
+  /// Before-index of after-node `i` (-1 for an inserted node). Only
+  /// meaningful for the delta-encodable kinds.
+  int OldIndex(int i) const {
+    switch (kind) {
+      case LevelDeltaKind::kIdentical:
+      case LevelDeltaKind::kSameNodes:
+        return i;
+      case LevelDeltaKind::kInsert:
+        if (i == pos) return -1;
+        return i < pos ? i : i - 1;
+      case LevelDeltaKind::kRemove:
+        return i < pos ? i : i + 1;
+      case LevelDeltaKind::kStructural:
+        return -1;
+    }
+    return -1;
+  }
+};
+
+/// Cheap structural diff between two level graphs. Node identity is the
+/// bitwise continuous-feature row plus the discrete ids, so it is exact:
+/// a kInsert/kRemove/kSameNodes verdict guarantees every aligned node is
+/// byte-identical between the graphs (adjacency and edge features may
+/// still differ — kNN rewiring around an arrival is expected and handled
+/// by the delta encoder). A same-count multiset permutation classifies as
+/// kStructural, never kSameNodes. O(n (n + d)) worst case.
+LevelGraphDelta DiffLevelGraph(const LevelGraph& before,
+                               const LevelGraph& after);
+
 /// Builds the full multi-level graph for one RTP request.
 MultiLevelGraph BuildMultiLevelGraph(const synth::Sample& sample,
                                      const GraphConfig& config);

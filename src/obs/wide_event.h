@@ -31,6 +31,9 @@ struct WideEvent {
   /// True when the service routed the request through the batch
   /// scheduler (even if it ended up in a batch of one).
   bool batched = false;
+  /// True when the request was served through an encode session's delta
+  /// path (incremental re-encode) rather than a full graph encode.
+  bool delta_encode = false;
   int num_locations = 0;
   int num_aois = 0;
   int beam_width = 0;

@@ -1,0 +1,86 @@
+#include "serve/encode_session.h"
+
+#include "common/check.h"
+#include "obs/metrics.h"
+
+namespace m2g::serve {
+namespace {
+
+obs::Counter& HitsCounter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().counter("encode.session_hits");
+  return c;
+}
+
+obs::Counter& MissesCounter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().counter("encode.session_misses");
+  return c;
+}
+
+obs::Counter& EvictionsCounter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().counter("encode.session_evictions");
+  return c;
+}
+
+}  // namespace
+
+EncodeSessionStore::EncodeSessionStore(size_t byte_budget)
+    : budget_(byte_budget) {}
+
+std::shared_ptr<EncodeSession> EncodeSessionStore::Acquire(int courier_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(courier_id);
+  if (it != entries_.end()) {
+    HitsCounter().Increment();
+    lru_.erase(it->second.lru_it);
+    lru_.push_front(courier_id);
+    it->second.lru_it = lru_.begin();
+    return it->second.session;
+  }
+  MissesCounter().Increment();
+  Entry entry;
+  entry.session = std::make_shared<EncodeSession>();
+  lru_.push_front(courier_id);
+  entry.lru_it = lru_.begin();
+  auto session = entry.session;
+  entries_.emplace(courier_id, std::move(entry));
+  return session;
+}
+
+void EncodeSessionStore::Release(int courier_id, size_t session_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(courier_id);
+  // Already evicted while in use: the caller's shared_ptr was the only
+  // remaining owner; nothing to account.
+  if (it == entries_.end()) return;
+  total_bytes_ -= it->second.bytes;
+  it->second.bytes = session_bytes;
+  total_bytes_ += session_bytes;
+  EvictOverBudgetLocked();
+}
+
+void EncodeSessionStore::EvictOverBudgetLocked() {
+  while (total_bytes_ > budget_ && entries_.size() > 1) {
+    const int victim = lru_.back();
+    auto it = entries_.find(victim);
+    M2G_CHECK(it != entries_.end());
+    total_bytes_ -= it->second.bytes;
+    lru_.pop_back();
+    entries_.erase(it);
+    EvictionsCounter().Increment();
+  }
+}
+
+size_t EncodeSessionStore::sessions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+size_t EncodeSessionStore::bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_bytes_;
+}
+
+}  // namespace m2g::serve

@@ -1,0 +1,71 @@
+#ifndef M2G_SERVE_ENCODE_SESSION_H_
+#define M2G_SERVE_ENCODE_SESSION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "core/incremental_encode.h"
+
+namespace m2g::serve {
+
+/// One courier's incremental-encode session: the cached encode state
+/// plus the mutex that serializes concurrent Handle() calls for the same
+/// courier (delta encoding is inherently sequential — each step advances
+/// the cached graph). `model_version` pins the snapshot the state was
+/// encoded with: a hot-swap invalidates the session before its next use,
+/// so stale encodings can never serve (serve_test pins this).
+class EncodeSession {
+ public:
+  std::mutex mu;
+  core::IncrementalState state;
+  int64_t model_version = 0;
+};
+
+/// LRU store of encode sessions keyed by courier id, bounded by a byte
+/// budget over the cached tensor payloads. Sessions are handed out by
+/// shared_ptr, so an eviction never invalidates a session another thread
+/// is mid-request on — the evicted state simply stops being findable and
+/// frees when its last user releases it.
+///
+/// Thread-safe; the store lock covers only map/LRU bookkeeping, never
+/// encode work. Metrics: encode.session_hits / _misses / _evictions.
+class EncodeSessionStore {
+ public:
+  explicit EncodeSessionStore(size_t byte_budget);
+
+  /// Finds or creates the courier's session and marks it most recently
+  /// used. Never blocks on encode work.
+  std::shared_ptr<EncodeSession> Acquire(int courier_id);
+
+  /// Reports the session's post-request footprint (callers compute
+  /// state.bytes() while still holding the session mutex) and evicts
+  /// least-recently-used sessions while the total exceeds the budget.
+  /// The most recently used session always survives, even over budget.
+  void Release(int courier_id, size_t session_bytes);
+
+  size_t sessions() const;
+  size_t bytes() const;
+
+ private:
+  void EvictOverBudgetLocked();
+
+  struct Entry {
+    std::shared_ptr<EncodeSession> session;
+    size_t bytes = 0;
+    std::list<int>::iterator lru_it;
+  };
+
+  mutable std::mutex mu_;
+  size_t budget_ = 0;
+  size_t total_bytes_ = 0;
+  std::list<int> lru_;  // front = most recently used
+  std::unordered_map<int, Entry> entries_;
+};
+
+}  // namespace m2g::serve
+
+#endif  // M2G_SERVE_ENCODE_SESSION_H_

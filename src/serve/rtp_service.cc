@@ -15,6 +15,10 @@ RtpService::RtpService(const synth::World* world,
     scheduler_ =
         std::make_unique<BatchScheduler>(nullptr, model, config.batch);
   }
+  if (config.encode_sessions.enabled) {
+    sessions_ = std::make_unique<EncodeSessionStore>(
+        config.encode_sessions.byte_budget);
+  }
 }
 
 RtpService::RtpService(const synth::World* world,
@@ -25,6 +29,10 @@ RtpService::RtpService(const synth::World* world,
   if (config.batching_enabled) {
     scheduler_ =
         std::make_unique<BatchScheduler>(registry, nullptr, config.batch);
+  }
+  if (config.encode_sessions.enabled) {
+    sessions_ = std::make_unique<EncodeSessionStore>(
+        config.encode_sessions.byte_budget);
   }
 }
 
@@ -48,8 +56,44 @@ RtpService::Response RtpService::Handle(const RtpRequest& request) const {
   obs::TraceSpan request_span("serve.request.ms", &request_hist);
   Response response;
   obs::WideEvent& event = trace.event();
-  event.batched = scheduler_ != nullptr;
-  if (scheduler_ != nullptr) {
+  event.batched = sessions_ == nullptr && scheduler_ != nullptr;
+  if (sessions_ != nullptr) {
+    // Encode-session path: delta-eligible requests bypass the batch
+    // encode and run inline against their courier's cached state. The
+    // session mutex serializes concurrent Handle() calls for the same
+    // courier; distinct couriers proceed in parallel.
+    ArenaGuard arena;
+    {
+      obs::TraceSpan span("serve.stage.feature_extract.ms", &extract_hist);
+      extractor_.BuildSample(request, &response.sample);
+    }
+    const core::M2g4Rtp* model = model_;
+    std::shared_ptr<const ModelSnapshot> snapshot;
+    if (registry_ != nullptr) {
+      snapshot = registry_->Current();
+      model = snapshot->model.get();
+      response.model_version = snapshot->version;
+    }
+    const int courier_id = request.courier.id;
+    std::shared_ptr<EncodeSession> session = sessions_->Acquire(courier_id);
+    size_t session_bytes = 0;
+    {
+      std::lock_guard<std::mutex> lock(session->mu);
+      if (session->model_version != response.model_version) {
+        // Snapshot hot-swap (or first use): cached encodings belong to
+        // other weights — never serve them.
+        session->state.Reset();
+        session->model_version = response.model_version;
+      }
+      core::IncrementalResult incremental;
+      response.prediction =
+          model->PredictIncremental(response.sample, &session->state,
+                                    &incremental);
+      event.delta_encode = incremental.delta;
+      session_bytes = session->state.bytes();
+    }
+    sessions_->Release(courier_id, session_bytes);
+  } else if (scheduler_ != nullptr) {
     // Batching path: extract here, predict wherever the scheduler
     // coalesces us. The sample rides through the batch by move and comes
     // back with the prediction and the serving snapshot's version.

@@ -7,6 +7,7 @@
 
 #include "core/model.h"
 #include "serve/batch_scheduler.h"
+#include "serve/encode_session.h"
 #include "serve/feature_extractor.h"
 #include "serve/graph_builder.h"
 #include "serve/model_registry.h"
@@ -14,12 +15,27 @@
 
 namespace m2g::serve {
 
+/// Per-courier incremental-encode sessions (core/incremental_encode):
+/// off by default, like batching — an opt-in serving optimization whose
+/// responses are bitwise-identical to the stateless path.
+struct EncodeSessionsConfig {
+  bool enabled = false;
+  /// LRU byte budget across all cached sessions (tensor payloads). The
+  /// most recently used session always survives, even over budget.
+  size_t byte_budget = 256u << 20;
+};
+
 /// Serving-layer switches. Batching defaults off: the legacy
 /// one-thread-one-request path stays the default until a deployment
 /// opts in, making the batching refactor a pure restructuring under flag.
+/// Encode sessions take precedence over batching: a session-routed
+/// request is delta-eligible and bypasses the batch encode entirely
+/// (micro-batching amortizes full encodes; a delta step is cheaper than
+/// a batched slot and must run against its courier's cached state).
 struct ServingConfig {
   bool batching_enabled = false;
   BatchConfig batch;
+  EncodeSessionsConfig encode_sessions;
 };
 
 /// Figure 7 "M2G4RTP Service": the online inference layer. Answers RTP
@@ -76,6 +92,10 @@ class RtpService {
     return scheduler_ != nullptr ? scheduler_->sheds() : 0;
   }
 
+  /// The encode-session store (nullptr when sessions are disabled).
+  /// Exposed for monitoring and the serve_test eviction suite.
+  const EncodeSessionStore* session_store() const { return sessions_.get(); }
+
   /// Tensor-pool behaviour across all request arenas (process-wide
   /// monitoring counters; steady-state serving should report zero new
   /// misses once every serving thread has warmed its pool).
@@ -89,6 +109,7 @@ class RtpService {
   const core::M2g4Rtp* model_ = nullptr;
   const ModelRegistry* registry_ = nullptr;
   std::unique_ptr<BatchScheduler> scheduler_;
+  std::unique_ptr<EncodeSessionStore> sessions_;
   mutable std::atomic<int64_t> requests_served_{0};
 };
 

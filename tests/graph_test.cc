@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstring>
+#include <vector>
 
 #include "graph/features.h"
 #include "graph/multi_level_graph.h"
@@ -146,6 +149,158 @@ TEST(MultiLevelGraphTest, LevelsAreConsistentWithSample) {
     EXPECT_EQ(g.location.node_aoi_id[i],
               g.aoi.node_aoi_id[g.loc_to_aoi[i]]);
   }
+}
+
+/// Level graph with node/pair content a pure function of stable node ids
+/// — the invariant the serving feature path provides — so membership
+/// edits are the only difference between two builds.
+LevelGraph DiffLevelFromIds(const std::vector<int>& ids) {
+  const int n = static_cast<int>(ids.size());
+  LevelGraph level;
+  level.n = n;
+  level.node_continuous = Matrix(n, kLocationContinuousDim);
+  level.node_aoi_id.resize(n);
+  level.node_aoi_type.resize(n);
+  for (int i = 0; i < n; ++i) {
+    Rng rng(5000 + static_cast<uint64_t>(ids[i]));
+    for (int c = 0; c < kLocationContinuousDim; ++c) {
+      level.node_continuous.At(i, c) = static_cast<float>(rng.NextDouble());
+    }
+    level.node_aoi_id[i] = ids[i] % 512;
+    level.node_aoi_type[i] = ids[i] % synth::kNumAoiTypes;
+  }
+  level.edge_features = Matrix(n * n, kEdgeDim);
+  level.adjacency.assign(static_cast<size_t>(n) * n, false);
+  for (int i = 0; i < n; ++i) {
+    level.adjacency[static_cast<size_t>(i) * n + i] = true;
+    for (int j = 0; j < n; ++j) {
+      Rng rng(9000 +
+              static_cast<uint64_t>(std::min(ids[i], ids[j])) * 65537 +
+              static_cast<uint64_t>(std::max(ids[i], ids[j])));
+      for (int c = 0; c < kEdgeDim; ++c) {
+        level.edge_features.At(i * n + j, c) =
+            static_cast<float>(rng.NextDouble());
+      }
+      if (i != j && rng.Bernoulli(0.4)) {
+        level.adjacency[static_cast<size_t>(i) * n + j] = true;
+        level.adjacency[static_cast<size_t>(j) * n + i] = true;
+      }
+    }
+  }
+  return level;
+}
+
+TEST(DiffLevelGraphTest, ClassifiesRandomEditSequences) {
+  // Property test: drive a random id set through inserts, removals,
+  // permutations, feature drift and no-ops; every diff must classify
+  // exactly, with the right position.
+  Rng rng(20260807);
+  std::vector<int> ids{2, 5, 9, 14};
+  LevelGraph before = DiffLevelFromIds(ids);
+  for (int step = 0; step < 120; ++step) {
+    const int op = rng.UniformInt(0, 4);
+    std::vector<int> next_ids = ids;
+    if (op == 0) {
+      // Insert an id not present; sorted order decides the position.
+      int id;
+      do {
+        id = rng.UniformInt(0, 99);
+      } while (std::find(next_ids.begin(), next_ids.end(), id) !=
+               next_ids.end());
+      auto it = std::lower_bound(next_ids.begin(), next_ids.end(), id);
+      const int pos = static_cast<int>(it - next_ids.begin());
+      next_ids.insert(it, id);
+      LevelGraph after = DiffLevelFromIds(next_ids);
+      LevelGraphDelta delta = DiffLevelGraph(before, after);
+      ASSERT_EQ(delta.kind, LevelDeltaKind::kInsert) << "step " << step;
+      EXPECT_EQ(delta.pos, pos);
+      // Round-trip: the index mapping recovers `before` exactly.
+      for (int i = 0; i < after.n; ++i) {
+        const int oi = delta.OldIndex(i);
+        if (oi < 0) continue;
+        EXPECT_EQ(std::memcmp(
+                      after.node_continuous.data() +
+                          static_cast<size_t>(i) * kLocationContinuousDim,
+                      before.node_continuous.data() +
+                          static_cast<size_t>(oi) * kLocationContinuousDim,
+                      sizeof(float) * kLocationContinuousDim),
+                  0);
+        EXPECT_EQ(after.node_aoi_id[i], before.node_aoi_id[oi]);
+      }
+      before = std::move(after);
+      ids = std::move(next_ids);
+    } else if (op == 1 && ids.size() > 2) {
+      const int pos = rng.UniformInt(0, static_cast<int>(ids.size()) - 1);
+      next_ids.erase(next_ids.begin() + pos);
+      LevelGraph after = DiffLevelFromIds(next_ids);
+      LevelGraphDelta delta = DiffLevelGraph(before, after);
+      ASSERT_EQ(delta.kind, LevelDeltaKind::kRemove) << "step " << step;
+      EXPECT_EQ(delta.pos, pos);
+      for (int i = 0; i < after.n; ++i) {
+        const int oi = delta.OldIndex(i);
+        ASSERT_GE(oi, 0);
+        EXPECT_EQ(std::memcmp(
+                      after.node_continuous.data() +
+                          static_cast<size_t>(i) * kLocationContinuousDim,
+                      before.node_continuous.data() +
+                          static_cast<size_t>(oi) * kLocationContinuousDim,
+                      sizeof(float) * kLocationContinuousDim),
+                  0);
+      }
+      before = std::move(after);
+      ids = std::move(next_ids);
+    } else if (op == 2 && ids.size() > 1) {
+      // A genuine permutation is never single-node-explainable.
+      std::vector<int> shuffled = ids;
+      do {
+        rng.Shuffle(&shuffled);
+      } while (shuffled == ids);
+      LevelGraph after = DiffLevelFromIds(shuffled);
+      EXPECT_EQ(DiffLevelGraph(before, after).kind,
+                LevelDeltaKind::kStructural)
+          << "step " << step;
+      // Not applied: keep `before` aligned with `ids`.
+    } else if (op == 3) {
+      // Feature drift on one aligned node.
+      LevelGraph after = DiffLevelFromIds(ids);
+      const int i = rng.UniformInt(0, static_cast<int>(ids.size()) - 1);
+      after.node_continuous.At(i, 1) += 0.75f;
+      EXPECT_EQ(DiffLevelGraph(before, after).kind,
+                LevelDeltaKind::kSameNodes)
+          << "step " << step;
+    } else {
+      LevelGraph same = DiffLevelFromIds(ids);
+      EXPECT_EQ(DiffLevelGraph(before, same).kind,
+                LevelDeltaKind::kIdentical)
+          << "step " << step;
+    }
+  }
+}
+
+TEST(DiffLevelGraphTest, MultiNodeChurnAndCountJumpsAreStructural) {
+  LevelGraph base = DiffLevelFromIds({1, 2, 3, 4, 5});
+  // Two nodes replaced in place: still index-aligned, so it is
+  // kSameNodes — the delta encoder marks both rows dirty and stays
+  // exact (or bails to a full encode past the dirty-spread guard).
+  EXPECT_EQ(DiffLevelGraph(base, DiffLevelFromIds({1, 2, 30, 40, 5})).kind,
+            LevelDeltaKind::kSameNodes);
+  // Count jumps by two.
+  EXPECT_EQ(DiffLevelGraph(base, DiffLevelFromIds({1, 2, 3, 4, 5, 6, 7}))
+                .kind,
+            LevelDeltaKind::kStructural);
+  EXPECT_EQ(DiffLevelGraph(base, DiffLevelFromIds({1, 2, 3})).kind,
+            LevelDeltaKind::kStructural);
+  // Same nodes, one adjacency bit flipped: kSameNodes (masks may drift —
+  // the delta encoder owns that), never kIdentical.
+  LevelGraph rewired = DiffLevelFromIds({1, 2, 3, 4, 5});
+  rewired.adjacency[0 * 5 + 4] = !rewired.adjacency[0 * 5 + 4];
+  rewired.adjacency[4 * 5 + 0] = rewired.adjacency[0 * 5 + 4];
+  EXPECT_EQ(DiffLevelGraph(base, rewired).kind, LevelDeltaKind::kSameNodes);
+  // Edge-feature drift alone: kSameNodes as well.
+  LevelGraph edge_drift = DiffLevelFromIds({1, 2, 3, 4, 5});
+  edge_drift.edge_features.At(7, 0) += 0.5f;
+  EXPECT_EQ(DiffLevelGraph(base, edge_drift).kind,
+            LevelDeltaKind::kSameNodes);
 }
 
 TEST(MultiLevelGraphTest, SingleAoiSampleStillBuilds) {

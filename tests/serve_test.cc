@@ -778,5 +778,154 @@ TEST(AdminServerUnderLoadTest, ScrapesStayValidWhileBatchedServing) {
   EXPECT_FALSE(server.running());
 }
 
+TEST(EncodeSessionTest, SessionHandleMatchesStatelessBitwise) {
+  // Session-routed responses are an optimization, never a behavior
+  // change: a growing-pending stream must match the stateless service
+  // bitwise, request by request.
+  ServeFixture* f = Fixture();
+  const synth::Sample* sample = nullptr;
+  for (const synth::Sample& s : f->built.splits.test.samples) {
+    if (sample == nullptr || s.num_locations() > sample->num_locations()) {
+      sample = &s;
+    }
+  }
+  ASSERT_GE(sample->num_locations(), 3);
+
+  ServingConfig config;
+  config.encode_sessions.enabled = true;
+  RtpService service(&f->built.world, f->model.get(), config);
+  RtpService stateless(&f->built.world, f->model.get());
+  ASSERT_NE(service.session_store(), nullptr);
+
+  const RtpRequest full = f->RequestFromSample(*sample);
+  for (int count = 2; count <= static_cast<int>(full.pending.size());
+       ++count) {
+    RtpRequest req = full;
+    req.pending.resize(count);
+    RtpService::Response got = service.Handle(req);
+    RtpService::Response want = stateless.Handle(req);
+    ExpectPredictionBitwiseEq(got.prediction, want.prediction);
+  }
+  EXPECT_EQ(service.session_store()->sessions(), 1u);
+  EXPECT_GT(service.session_store()->bytes(), 0u);
+}
+
+TEST(EncodeSessionTest, LruEvictionHoldsByteBudget) {
+  // A byte budget that fits roughly two sessions: serving many couriers
+  // must keep evicting the least recently used while the most recent
+  // always survives — the store never grows without bound.
+  ServeFixture* f = Fixture();
+  const synth::Sample& s = f->built.splits.test.samples.front();
+
+  // Measure one session's footprint with an unbounded store first.
+  size_t one_session = 0;
+  {
+    ServingConfig config;
+    config.encode_sessions.enabled = true;
+    RtpService probe(&f->built.world, f->model.get(), config);
+    probe.Handle(f->RequestFromSample(s));
+    one_session = probe.session_store()->bytes();
+    ASSERT_GT(one_session, 0u);
+  }
+
+  ServingConfig config;
+  config.encode_sessions.enabled = true;
+  config.encode_sessions.byte_budget = 2 * one_session + one_session / 2;
+  RtpService service(&f->built.world, f->model.get(), config);
+  constexpr int kCouriers = 8;
+  for (int c = 0; c < kCouriers; ++c) {
+    RtpRequest req = f->RequestFromSample(s);
+    req.courier.id = 1000 + c;
+    service.Handle(req);
+    EXPECT_LE(service.session_store()->sessions(), 3u);
+  }
+  const EncodeSessionStore* store = service.session_store();
+  EXPECT_LT(store->sessions(), kCouriers);
+  EXPECT_GE(store->sessions(), 1u);
+  EXPECT_LE(store->bytes(), config.encode_sessions.byte_budget);
+  // An evicted courier simply re-warms: same bits, fresh session.
+  RtpRequest req = f->RequestFromSample(s);
+  req.courier.id = 1000;
+  RtpService::Response again = service.Handle(req);
+  RtpService stateless(&f->built.world, f->model.get());
+  ExpectPredictionBitwiseEq(
+      again.prediction,
+      stateless.Handle(req).prediction);
+}
+
+TEST(EncodeSessionTest, ConcurrentSameCourierSerializesOnSession) {
+  // Many threads hammering ONE courier: the session mutex serializes the
+  // delta stream (this test runs in the TSan matrix), every response
+  // bitwise-matches the stateless reference, and the store holds exactly
+  // one session at the end.
+  ServeFixture* f = Fixture();
+  const synth::Sample& s = f->built.splits.test.samples.front();
+  const RtpRequest request = f->RequestFromSample(s);
+  core::RtpPrediction want;
+  {
+    NoGradGuard no_grad;
+    want = f->model->Predict(s);
+  }
+
+  ServingConfig config;
+  config.encode_sessions.enabled = true;
+  RtpService service(&f->built.world, f->model.get(), config);
+  constexpr int kThreads = 6;
+  constexpr int kRounds = 8;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int r = 0; r < kRounds; ++r) {
+        RtpService::Response resp = service.Handle(request);
+        ExpectPredictionBitwiseEq(resp.prediction, want);
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_EQ(service.requests_served(), kThreads * kRounds);
+  EXPECT_EQ(service.session_store()->sessions(), 1u);
+}
+
+TEST(EncodeSessionTest, SnapshotHotSwapInvalidatesSessions) {
+  // After a Publish, a warm session must never serve encodings cached
+  // under the old weights: the next response must match the NEW model's
+  // stateless prediction bitwise.
+  ServeFixture* f = Fixture();
+  const synth::Sample& s = f->built.splits.test.samples.front();
+  const RtpRequest request = f->RequestFromSample(s);
+
+  std::shared_ptr<const core::M2g4Rtp> initial(f->model.get(),
+                                               [](const core::M2g4Rtp*) {});
+  ModelRegistry registry(initial, /*initial_version=*/3);
+  ServingConfig config;
+  config.encode_sessions.enabled = true;
+  RtpService service(&f->built.world, &registry, config);
+
+  // Warm the session on the initial snapshot (second call delta-serves).
+  RtpService::Response warm1 = service.Handle(request);
+  RtpService::Response warm2 = service.Handle(request);
+  EXPECT_EQ(warm1.model_version, 3);
+  EXPECT_EQ(warm2.model_version, 3);
+  ExpectPredictionBitwiseEq(warm2.prediction, warm1.prediction);
+
+  // Publish genuinely different weights (fresh seed, same shape).
+  core::ModelConfig other_config = f->model->config();
+  other_config.seed = f->model->config().seed + 41;
+  auto swapped = std::make_shared<core::M2g4Rtp>(other_config);
+  EXPECT_EQ(registry.Publish(swapped), 4);
+
+  core::RtpPrediction want;
+  {
+    NoGradGuard no_grad;
+    want = swapped->Predict(s);
+  }
+  RtpService::Response after = service.Handle(request);
+  EXPECT_EQ(after.model_version, 4);
+  ExpectPredictionBitwiseEq(after.prediction, want);
+  // And the session re-warms under the new version: still the new bits.
+  RtpService::Response again = service.Handle(request);
+  ExpectPredictionBitwiseEq(again.prediction, want);
+}
+
 }  // namespace
 }  // namespace m2g::serve
