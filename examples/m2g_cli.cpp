@@ -30,6 +30,7 @@
 #include "serve/model_registry.h"
 #include "serve/replay.h"
 #include "synth/dataset_io.h"
+#include "tensor/simd.h"
 
 namespace {
 
@@ -226,7 +227,9 @@ int Serve(const FlagParser& flags) {
     const auto snapshot = registry.Current();
     return "\"model_version\": " +
            std::to_string(snapshot != nullptr ? snapshot->version : 0) +
-           ", \"swaps\": " + std::to_string(registry.swap_count());
+           ", \"swaps\": " + std::to_string(registry.swap_count()) +
+           ", \"simd_tier\": \"" +
+           simd::TierName(simd::ActiveTier()) + "\"";
   };
   obs::AdminServer admin(admin_options);
   if (admin_requested) {

@@ -171,6 +171,9 @@ void GatELayer::ForwardFastBatch(
 
   // Scratch for the batched projections: one MatMulManySlice per item,
   // rebuilt per weight (the slice list is tiny; the products dominate).
+  // All the matmul/logit kernels below dispatch through the runtime
+  // SIMD tier (tensor/simd.h) — bitwise-identical on every tier, so
+  // nothing here depends on which one the host selected.
   std::vector<MatMulManySlice> slices(items.size());
 
   for (int p = 0; p < num_heads_; ++p) {

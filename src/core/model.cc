@@ -8,6 +8,7 @@
 #include "nn/serialize.h"
 #include "obs/trace.h"
 #include "tensor/grad_mode.h"
+#include "tensor/simd.h"
 
 namespace m2g::core {
 namespace {
@@ -37,6 +38,10 @@ Tensor Detach(const Tensor& t) {
 M2g4Rtp::M2g4Rtp(const ModelConfig& config) : config_(config) {
   const Status config_status = ValidateConfig(config);
   M2G_CHECK_MSG(config_status.ok(), config_status.ToString().c_str());
+  // Process-global kill switch (see the config comment): every kernel
+  // tier is bitwise-identical, so this only trades speed for a known-
+  // simple instruction stream.
+  if (!config.simd_kernels) simd::SetTier(simd::Tier::kScalar);
   Rng rng(config.seed);
   global_embed_ = std::make_unique<GlobalFeatureEmbed>(config, &rng);
   AddChild("global_embed", global_embed_.get());

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "nn/init.h"
+#include "tensor/simd.h"
 
 namespace m2g::nn {
 
@@ -66,9 +67,13 @@ void LstmCell::StepRawBatch(const float* const* x_rows, int batch,
                         whh.data(), 4 * H, scratch.data() + b * G);
   }
   gates.AddInPlace(scratch);
+  // The gate elementwise block (h-side add above plus this bias row) is
+  // pure independent-element addition, so it runs through the SIMD tier;
+  // the sigmoid/tanh loop below stays scalar — libm is the bitwise
+  // reference for the transcendentals and has no vector counterpart
+  // with identical rounding.
   for (int b = 0; b < batch; ++b) {
-    float* grow = gates.data() + b * G;
-    for (int j = 0; j < 4 * H; ++j) grow[j] += bias[j];
+    simd::AddInPlace(gates.data() + b * G, bias, G);
   }
   // c' = sigmoid(f) * c + sigmoid(i) * tanh(g); h' = sigmoid(o) * tanh(c'),
   // the exact per-element expressions of the op chain in Forward().

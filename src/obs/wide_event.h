@@ -34,6 +34,12 @@ struct WideEvent {
   /// True when the request was served through an encode session's delta
   /// path (incremental re-encode) rather than a full graph encode.
   bool delta_encode = false;
+  /// SIMD dispatch tier the tensor kernels ran at ("scalar", "sse2",
+  /// "avx2"). Filled by the serving layer from simd::ActiveTier() —
+  /// obs/ sits below tensor/, so the value arrives as a plain string.
+  /// Constant within a process unless a kill switch flips it, but
+  /// recorded per event so mixed fleets slice latency by tier.
+  std::string simd_tier;
   int num_locations = 0;
   int num_aois = 0;
   int beam_width = 0;

@@ -4,6 +4,7 @@
 
 #include "obs/trace.h"
 #include "tensor/grad_mode.h"
+#include "tensor/simd.h"
 
 namespace m2g::serve {
 
@@ -57,6 +58,7 @@ RtpService::Response RtpService::Handle(const RtpRequest& request) const {
   Response response;
   obs::WideEvent& event = trace.event();
   event.batched = sessions_ == nullptr && scheduler_ != nullptr;
+  event.simd_tier = simd::TierName(simd::ActiveTier());
   if (sessions_ != nullptr) {
     // Encode-session path: delta-eligible requests bypass the batch
     // encode and run inline against their courier's cached state. The

@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "common/string_util.h"
+#include "tensor/simd.h"
 
 namespace m2g {
 namespace {
@@ -24,9 +25,10 @@ void MatMulAccumulate(const Matrix& a, const Matrix& b, Matrix* out) {
 
 void AddRowBias(const Matrix& bias, Matrix* out) {
   const float* brow = bias.data();
+  const size_t cols = static_cast<size_t>(out->cols());
   for (int r = 0; r < out->rows(); ++r) {
-    float* orow = out->data() + static_cast<size_t>(r) * out->cols();
-    for (int c = 0; c < out->cols(); ++c) orow[c] += brow[c];
+    simd::AddInPlace(out->data() + static_cast<size_t>(r) * cols, brow,
+                     cols);
   }
 }
 
@@ -76,9 +78,7 @@ void Matrix::Fill(float value) {
 
 void Matrix::AddInPlace(const Matrix& other) {
   M2G_CHECK(SameShape(other));
-  float* a = data_.data();
-  const float* b = other.data_.data();
-  for (size_t i = 0, n = size(); i < n; ++i) a[i] += b[i];
+  simd::AddInPlace(data_.data(), other.data_.data(), size());
 }
 
 void Matrix::AddScaledInPlace(const Matrix& other, float scale) {
@@ -148,37 +148,37 @@ Matrix MatMulATB(const Matrix& a, const Matrix& b) {
   M2G_CHECK_EQ(a.rows(), b.rows());
   const int n = a.cols(), k = a.rows(), m = b.cols();
   Matrix out(n, m);
-  // Same i-k-j order and zero-skip as MatMulRaw(TransposeRaw(a), b):
-  // T(i,p) there is a(p,i) here, read strided instead of copied.
+  // Gather column i of `a` into a contiguous pooled row, then run the
+  // canonical row kernel — exactly MatMulRaw(TransposeRaw(a), b) row by
+  // row, so the accumulation order (and the dense/sparse path choice)
+  // is the reference composition's, bit for bit. The old fused variant
+  // read a(p, i) strided inside the O(k*m) inner loop, which measured
+  // ~2x slower than transpose-then-multiply once the dense row kernel
+  // got register blocking; the O(k) gather per row is noise against the
+  // O(k*m) product and keeps the traffic sequential.
+  Matrix acol = Matrix::Uninit(1, k);
+  float* xrow = acol.data();
   for (int i = 0; i < n; ++i) {
-    float* orow = out.data() + static_cast<size_t>(i) * m;
     for (int p = 0; p < k; ++p) {
-      const float av = a.data()[static_cast<size_t>(p) * n + i];
-      if (av == 0.0f) continue;
-      const float* brow = b.data() + static_cast<size_t>(p) * m;
-      for (int j = 0; j < m; ++j) orow[j] += av * brow[j];
+      xrow[p] = a.data()[static_cast<size_t>(p) * n + i];
     }
+    AccumulateRowMatMul(xrow, k, b.data(), m,
+                        out.data() + static_cast<size_t>(i) * m);
   }
   return out;
 }
 
 Matrix MatMulABT(const Matrix& a, const Matrix& b) {
   M2G_CHECK_EQ(a.cols(), b.cols());
-  const int n = a.rows(), k = a.cols(), m = b.rows();
-  Matrix out(n, m);
-  // Same i-k-j order and zero-skip as MatMulRaw(a, TransposeRaw(b)):
-  // T(p,j) there is b(j,p) here, read strided instead of copied.
-  for (int i = 0; i < n; ++i) {
-    const float* arow = a.data() + static_cast<size_t>(i) * k;
-    float* orow = out.data() + static_cast<size_t>(i) * m;
-    for (int p = 0; p < k; ++p) {
-      const float av = arow[p];
-      if (av == 0.0f) continue;
-      for (int j = 0; j < m; ++j) {
-        orow[j] += av * b.data()[static_cast<size_t>(j) * k + p];
-      }
-    }
-  }
+  // Materialize b^T (one sequential O(k*m) copy from the pool) and run
+  // the canonical kernel: this IS the reference composition, so parity
+  // is structural. The old fused variant saved the transpose but read
+  // b(j, p) with stride k inside the innermost loop — a measured ~2x
+  // regression against transpose-then-multiply with the register-blocked
+  // dense row kernel; bench_memory_kernels now gates fused >= unfused.
+  Matrix bt = TransposeRaw(b);
+  Matrix out(a.rows(), bt.cols());
+  MatMulAccumulate(a, bt, &out);
   return out;
 }
 
@@ -193,10 +193,7 @@ Matrix AffineRaw(const Matrix& x, const Matrix& w, const Matrix* bias,
   MatMulAccumulate(x, w, &out);
   if (bias != nullptr) AddRowBias(*bias, &out);
   if (act == Activation::kRelu) {
-    float* o = out.data();
-    for (size_t i = 0, n = out.size(); i < n; ++i) {
-      o[i] = o[i] > 0.0f ? o[i] : 0.0f;
-    }
+    simd::ReluInPlace(out.data(), out.size());
   }
   return out;
 }
@@ -205,12 +202,27 @@ void AccumulateRowMatMul(const float* x, int k, const float* b, int m,
                          float* out_row) {
   // Zero-scan picks the path: the branchy loop wins when rows carry exact
   // zeros (one-hot features, ReLU outputs, the all-zero initial LSTM
-  // state), the register-blocked loop wins on dense activations. The scan
-  // is O(k) against the O(k*m) kernel and exits at the first zero, so
-  // it is only worth running for non-trivial output widths.
+  // state), the vectorized dense kernel wins on dense activations. The
+  // scan is capped at the first kZeroScanCap entries: real rows are
+  // either dense everywhere (hidden activations) or zero-sparse from the
+  // start (one-hot blocks), so the prefix decides, and the scan cost
+  // stays O(1) instead of O(k) in front of every O(k*m) row product.
+  //
+  // Parity argument for the cap: a zero hiding at p >= kZeroScanCap
+  // reaches the dense kernel, which adds x[p] * b[p*m + j] = +/-0.0
+  // instead of skipping the term. Under round-to-nearest, adding +/-0.0
+  // leaves every accumulator bit-unchanged unless the accumulator holds
+  // -0.0 (only (-0) + (-0) produces -0, so an accumulator that starts at
+  // +0.0 — as every caller's does — or at any nonzero value can never
+  // reach -0.0), and 0 * b is +/-0.0 for every finite b (weights are
+  // finite; a nonfinite b poisons the product on either path).
+  // matrix_test pins dense-with-late-zero against the skip reference
+  // byte for byte.
   bool dense = m >= 4;
   if (dense) {
-    for (int p = 0; p < k; ++p) {
+    constexpr int kZeroScanCap = 16;
+    const int scan = k < kZeroScanCap ? k : kZeroScanCap;
+    for (int p = 0; p < scan; ++p) {
       if (x[p] == 0.0f) {
         dense = false;
         break;
@@ -226,32 +238,12 @@ void AccumulateRowMatMul(const float* x, int k, const float* b, int m,
     }
     return;
   }
-  // Register-blocked dense path: four b-rows per pass over out_row, one
-  // load/store of each accumulator instead of four. The per-column
-  // additions stay separate statements in ascending-p order (no
-  // reassociation), so this is the branchy loop minus its branches, bit
-  // for bit — the scan guaranteed no term would have been skipped.
-  int p = 0;
-  for (; p + 4 <= k; p += 4) {
-    const float a0 = x[p], a1 = x[p + 1], a2 = x[p + 2], a3 = x[p + 3];
-    const float* b0 = b + static_cast<size_t>(p) * m;
-    const float* b1 = b0 + m;
-    const float* b2 = b1 + m;
-    const float* b3 = b2 + m;
-    for (int j = 0; j < m; ++j) {
-      float acc = out_row[j];
-      acc += a0 * b0[j];
-      acc += a1 * b1[j];
-      acc += a2 * b2[j];
-      acc += a3 * b3[j];
-      out_row[j] = acc;
-    }
-  }
-  for (; p < k; ++p) {
-    const float av = x[p];
-    const float* brow = b + static_cast<size_t>(p) * m;
-    for (int j = 0; j < m; ++j) out_row[j] += av * brow[j];
-  }
+  // Dense path: the runtime-dispatched SIMD tier (AVX2 -> SSE2 ->
+  // scalar register-blocked). Every tier adds the same terms to the
+  // same accumulators in the same ascending-p order with separate
+  // mul + add instructions, so this is the branchy loop minus its
+  // branches, bit for bit — see tensor/simd.h for the full contract.
+  simd::DenseRowMatMul(x, k, b, m, out_row);
 }
 
 float PointerScoreRow(const float* keys_row, const float* q, const float* v,
@@ -297,13 +289,11 @@ void MatMulManyInto(const MatMulManySlice* slices, int count, int k,
 
 void GatLogitsRow(const float* s_dst, const float* s_edge_row, float s_src_i,
                   float slope, int n, float* logits) {
-  for (int j = 0; j < n; ++j) {
-    // (s_dst[j] + s_e[ij]) first, then + s_src[i]: the Add node ran
-    // before the AddScalarTensor node on the legacy path.
-    const float t = s_dst[j] + s_edge_row[j];
-    const float pre = t + s_src_i;
-    logits[j] = pre > 0.0f ? pre : slope * pre;
-  }
+  // (s_dst[j] + s_e[ij]) first, then + s_src[i]: the Add node ran
+  // before the AddScalarTensor node on the legacy path. Each output
+  // element is independent, so the SIMD tier vectorizes across j with
+  // the same add/add/mul/select sequence per lane.
+  simd::GatLogitsRow(s_dst, s_edge_row, s_src_i, slope, n, logits);
 }
 
 void MaskedSoftmaxRowRaw(const float* logits, const std::vector<bool>& mask,

@@ -131,11 +131,17 @@ Matrix TransposeRaw(const Matrix& a);
 // ---------------------------------------------------------------------------
 
 /// out = a^T * b without materializing a^T. Shapes (k,n) x (k,m) -> (n,m).
-/// Bitwise-identical to MatMulRaw(TransposeRaw(a), b).
+/// Bitwise-identical to MatMulRaw(TransposeRaw(a), b): each row of a^T
+/// is gathered into a (1, k) pooled scratch and fed through the
+/// canonical row kernel, so the accumulation order is the reference
+/// composition's by construction.
 Matrix MatMulATB(const Matrix& a, const Matrix& b);
 
-/// out = a * b^T without materializing b^T. Shapes (n,k) x (m,k) -> (n,m).
-/// Bitwise-identical to MatMulRaw(a, TransposeRaw(b)).
+/// out = a * b^T. Shapes (n,k) x (m,k) -> (n,m). Bitwise-identical to
+/// MatMulRaw(a, TransposeRaw(b)) — it literally materializes b^T into
+/// pooled scratch first: one sequential transpose copy beats the
+/// column-strided inner loop of the old "transpose-free" variant by ~2x
+/// now that the dense row kernel is register-blocked and vectorized.
 Matrix MatMulABT(const Matrix& a, const Matrix& b);
 
 /// out = act(x * w + bias) with bias a (1, m) row broadcast over rows
@@ -159,11 +165,14 @@ Matrix DualAffineRaw(const Matrix& x, const Matrix& wx, const Matrix& h,
 
 /// out_row += x * b for one row: x is k floats, b is (k, m) row-major,
 /// out_row is m floats, accumulated in the canonical ascending-p order
-/// with the `x[p] == 0` skip. When the row contains no exact zeros —
-/// typical for dense hidden activations — a register-blocked path without
-/// the per-term branch is selected instead; it adds the same terms to the
-/// same accumulators in the same order, so the result is bitwise-identical
-/// either way.
+/// with the `x[p] == 0` skip. When the first 16 entries of the row carry
+/// no exact zeros — typical for dense hidden activations — the branchy
+/// loop is replaced by the runtime-dispatched SIMD dense kernel
+/// (tensor/simd.h: AVX2 -> SSE2 -> scalar register-blocked); it adds the
+/// same terms to the same accumulators in the same order with separate
+/// mul + add instructions, so the result is bitwise-identical either way
+/// (a zero past the scan cap contributes a bitwise-neutral +/-0.0 term;
+/// see the parity argument at the definition).
 void AccumulateRowMatMul(const float* x, int k, const float* b, int m,
                          float* out_row);
 

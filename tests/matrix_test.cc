@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstring>
+#include <limits>
 #include <vector>
 
 #include "common/rng.h"
@@ -118,6 +119,53 @@ TEST(RowKernelTest, AccumulateRowMatMulMatchesReferenceBitwise) {
       }
     }
   }
+}
+
+TEST(RowKernelTest, ZeroScanCapKeepsSkipSemanticsBitwise) {
+  // The dense/sparse selection scans only the first 16 entries of x. A
+  // zero hiding past the cap reaches the dense kernel, which adds its
+  // +/-0.0 terms instead of skipping them — bitwise-neutral for finite
+  // b and accumulators that never hold -0.0 (see AccumulateRowMatMul).
+  // Pin that against the skip reference for zeros on both sides of the
+  // cap boundary.
+  Rng rng(46);
+  const int m = 12;
+  for (int k : {17, 24, 48}) {
+    for (int zero_at : {16, 17, k - 1}) {
+      for (float zero : {0.0f, -0.0f}) {
+        Matrix x = Matrix::Random(1, k, 0.1f, 1.0f, &rng);
+        x.At(0, zero_at) = zero;
+        const Matrix b = Matrix::Random(k, m, -1, 1, &rng);
+        std::vector<float> got(m, 0.0f), want(m, 0.0f);
+        AccumulateRowMatMul(x.data(), k, b.data(), m, got.data());
+        ReferenceRowMatMul(x.data(), k, b, want.data());
+        EXPECT_EQ(
+            std::memcmp(got.data(), want.data(), m * sizeof(float)), 0)
+            << "k=" << k << " zero_at=" << zero_at;
+      }
+    }
+  }
+}
+
+TEST(RowKernelTest, ZeroInScanPrefixStillSelectsBranchyPath) {
+  // A zero inside the scanned prefix must take the skip path verbatim.
+  // Observable: pair the zero with an inf row of b — skipping leaves
+  // the output finite, while the dense kernel's 0 * inf would inject
+  // NaN. (Beyond the cap the contract assumes finite b, so this pin
+  // only holds for prefix zeros.)
+  Rng rng(47);
+  const int k = 20, m = 8;
+  Matrix x = Matrix::Random(1, k, 0.1f, 1.0f, &rng);
+  x.At(0, 3) = 0.0f;
+  Matrix b = Matrix::Random(k, m, -1, 1, &rng);
+  for (int j = 0; j < m; ++j) {
+    b.At(3, j) = std::numeric_limits<float>::infinity();
+  }
+  std::vector<float> got(m, 0.0f), want(m, 0.0f);
+  AccumulateRowMatMul(x.data(), k, b.data(), m, got.data());
+  ReferenceRowMatMul(x.data(), k, b, want.data());
+  EXPECT_EQ(std::memcmp(got.data(), want.data(), m * sizeof(float)), 0);
+  for (int j = 0; j < m; ++j) EXPECT_TRUE(std::isfinite(got[j])) << j;
 }
 
 TEST(RowKernelTest, MatMulRawAgreesWithRowPrimitive) {
